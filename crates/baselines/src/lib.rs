@@ -1,0 +1,26 @@
+//! # tkij-baselines — the Boolean competitors of the TKIJ evaluation
+//!
+//! The paper compares TKIJ against the Map-Reduce interval-join
+//! algorithms of Chawda et al. (EDBT'14), adapted to top-k exactly as
+//! §4.2.5 describes: "we use these algorithms to return only results that
+//! satisfy all the Boolean predicates of a RTJ query … we also impose
+//! reducers to stop join processing if k results are found", followed by
+//! a TKIJ-style merge.
+//!
+//! * [`run_rccis`] — cascaded colocation joins with reference-granule
+//!   de-duplication (`overlaps`, `meets`, `starts`, …).
+//! * [`run_all_matrix`] — start-granule signature partitioning for
+//!   sequence queries (`before`, `justBefore`, …), one reducer per
+//!   feasible signature (20 reducers at `g = 4`, `n = 3`, as the paper
+//!   reports).
+//!
+//! Both are verified against the exhaustive Boolean oracle of
+//! `tkij-core::naive`.
+
+pub mod allmatrix;
+pub mod common;
+pub mod rccis;
+
+pub use allmatrix::{feasible_signatures, run_all_matrix};
+pub use common::BaselineReport;
+pub use rccis::run_rccis;

@@ -1,0 +1,70 @@
+//! Figure 7 — Synthetic Data, Score Distribution.
+//!
+//! Paper setup: |Ci| = 10⁴, P = P1; all (x1, x2) pairs scored under
+//! s-before, s-overlaps, s-meets, s-starts; the top-50 000 scores are
+//! plotted. Expectation: |high(before)| ≥ |high(overlaps)| ≥
+//! |high(meets)| ≥ |high(starts)| — inequality-only predicates yield far
+//! more high-scoring results than equality-based ones.
+
+use tkij_bench::{header, print_table, Scale};
+use tkij_core::all_pair_scores;
+use tkij_datagen::synthetic::{uniform_collection, SyntheticConfig};
+use tkij_temporal::collection::CollectionId;
+use tkij_temporal::params::PredicateParams;
+use tkij_temporal::predicate::TemporalPredicate;
+
+fn main() {
+    let scale = Scale::from_env();
+    let size = scale.size(10_000);
+    header(
+        "Figure 7 — Synthetic Data: Score Distribution",
+        "|Ci| = 10^4, P = P1, top-50000 pair scores per predicate",
+        "s-before >> s-overlaps > s-meets > s-starts in high-scoring results",
+    );
+    let p = PredicateParams::P1;
+    let c1 = uniform_collection(CollectionId(0), &SyntheticConfig::paper(size, 71));
+    let c2 = uniform_collection(CollectionId(1), &SyntheticConfig::paper(size, 72));
+    let window = ((50_000.0 * (size as f64 / 10_000.0).powi(2)) as usize).max(100);
+
+    let predicates = [
+        ("s-before", TemporalPredicate::before(p)),
+        ("s-overlaps", TemporalPredicate::overlaps(p)),
+        ("s-meets", TemporalPredicate::meets(p)),
+        ("s-starts", TemporalPredicate::starts(p)),
+    ];
+
+    println!("|Ci| = {size}, pairs = {}, plotted window = top-{window}", size * size);
+    let ranks: Vec<usize> =
+        vec![1, window / 8, window / 4, window / 2, (3 * window) / 4, window];
+    let mut rows = Vec::new();
+    let mut perfect_counts = Vec::new();
+    for (name, pred) in &predicates {
+        let scores = all_pair_scores(pred, &c1, &c2);
+        let perfect = scores.iter().take_while(|&&s| s >= 1.0 - 1e-12).count();
+        perfect_counts.push((name.to_string(), perfect));
+        let mut row = vec![name.to_string(), perfect.to_string()];
+        for &r in &ranks {
+            let idx = r.saturating_sub(1).min(scores.len().saturating_sub(1));
+            row.push(format!("{:.3}", scores.get(idx).copied().unwrap_or(0.0)));
+        }
+        rows.push(row);
+    }
+    let rank_cols: Vec<String> = ranks.iter().map(|r| format!("rank {r}")).collect();
+    let mut cols: Vec<&str> = vec!["predicate", "#score=1.0"];
+    cols.extend(rank_cols.iter().map(String::as_str));
+    print_table(&cols, &rows);
+
+    println!("\nshape check (paper: fewer high scores as equality constraints increase):");
+    for w in perfect_counts.windows(2) {
+        let ok = w[0].1 >= w[1].1;
+        println!(
+            "  #1.0({}) = {} {} #1.0({}) = {}   [{}]",
+            w[0].0,
+            w[0].1,
+            if ok { ">=" } else { "<" },
+            w[1].0,
+            w[1].1,
+            if ok { "OK" } else { "MISMATCH" }
+        );
+    }
+}

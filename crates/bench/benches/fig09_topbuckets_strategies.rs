@@ -1,0 +1,117 @@
+//! Figure 9 — Synthetic Data, detailed execution time of all TopBuckets
+//! strategies.
+//!
+//! Paper setup: g = 15, k = 100, |Ci| = 2·10⁵, P = P1; queries Qb*, Qo*,
+//! Qm* with n ∈ {3, 4, 5}; strategies brute-force / two-phase / loose;
+//! runs above one hour are not reported.
+//! Expectations: brute-force explodes with n; two-phase only beats
+//! brute-force on Qb* (its first phase prunes > 99 % there); loose is the
+//! most efficient and scales with n.
+
+use std::time::Duration;
+use tkij_bench::{header, print_table, secs, Scale};
+use tkij_core::{Strategy, Tkij, TkijConfig};
+use tkij_datagen::uniform_collections;
+use tkij_temporal::params::PredicateParams;
+use tkij_temporal::query::table1;
+
+/// Cap standing in for the paper's 1-hour limit: estimated brute-force
+/// solver invocations beyond this are reported as "> cap".
+const BRUTE_FORCE_COMBO_CAP: u128 = 150_000;
+const LOOSE_COMBO_CAP: u128 = 20_000_000;
+
+fn main() {
+    let scale = Scale::from_env();
+    let size = scale.size(200_000);
+    let max_n = if scale.full { 5 } else { 4 };
+    header(
+        "Figure 9 — Synthetic Data: TopBuckets strategies, detailed time",
+        "g = 15, k = 100, |Ci| = 2*10^5, P = P1; Qb*/Qo*/Qm*, n = 3..5",
+        "brute-force blows up with n; two-phase helps only on Qb*; loose wins and scales",
+    );
+    println!("|Ci| -> {size}; n up to {max_n} (n = 5 under TKIJ_FULL=1)\n");
+
+    let star_queries: Vec<(&str, fn(usize, PredicateParams) -> tkij_temporal::query::Query)> = vec![
+        ("Qb*", table1::q_b_star),
+        ("Qo*", table1::q_o_star),
+        ("Qm*", table1::q_m_star),
+    ];
+    let k = scale.k(100);
+
+    for (qname, build) in star_queries {
+        println!("--- {qname} ---");
+        let mut rows = Vec::new();
+        for n in 3..=max_n {
+            let q = build(n, PredicateParams::P1);
+            let tk = Tkij::new(TkijConfig::default().with_granules(15));
+            let dataset =
+                tk.prepare(uniform_collections(n, size, 1312)).expect("prepare");
+            // Estimate |Ω| to honor the paper's time cap.
+            let buckets_per_vertex: Vec<u128> = (0..n)
+                .map(|v| dataset.matrices[v].nonempty_len() as u128)
+                .collect();
+            let omega: u128 = buckets_per_vertex.iter().product();
+            for (sname, strategy) in Strategy::all() {
+                let cap = match strategy {
+                    Strategy::BruteForce => BRUTE_FORCE_COMBO_CAP,
+                    _ => LOOSE_COMBO_CAP,
+                };
+                if omega > cap {
+                    rows.push(vec![
+                        format!("n={n}"),
+                        sname.to_string(),
+                        format!("> cap (|Omega| = {omega})"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                    continue;
+                }
+                let tk = Tkij::new(
+                    TkijConfig::default().with_granules(15).with_strategy(strategy),
+                );
+                let report = tk.execute(&dataset, &q, k).expect("execute");
+                rows.push(vec![
+                    format!("n={n}"),
+                    sname.to_string(),
+                    secs(report.topbuckets.duration),
+                    secs(report.distribution.duration),
+                    secs(report.join.wall),
+                    secs(report.merge.wall),
+                    secs(report.topbuckets.duration
+                        + report.distribution.duration
+                        + report.join.wall
+                        + report.merge.wall),
+                ]);
+            }
+        }
+        print_table(
+            &["n", "strategy", "TopBuckets", "DTB", "Join", "Merge", "total"],
+            &rows,
+        );
+        // Shape check: loose TopBuckets time <= brute-force where both ran.
+        let mut by_key: std::collections::HashMap<(String, String), Duration> =
+            std::collections::HashMap::new();
+        for r in &rows {
+            if r[2].starts_with('>') {
+                continue;
+            }
+            let tb: f64 = r[2].trim_end_matches('s').parse().unwrap_or(f64::NAN);
+            by_key.insert((r[0].clone(), r[1].clone()), Duration::from_secs_f64(tb));
+        }
+        for n in 3..=max_n {
+            let key_l = (format!("n={n}"), "loose".to_string());
+            let key_b = (format!("n={n}"), "brute-force".to_string());
+            if let (Some(l), Some(b)) = (by_key.get(&key_l), by_key.get(&key_b)) {
+                println!(
+                    "  n={n}: loose TopBuckets {} vs brute-force {}  [{}]",
+                    secs(*l),
+                    secs(*b),
+                    if l <= b { "OK" } else { "MISMATCH" }
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,224 @@
+//! Criterion micro-benchmarks of TKIJ's building blocks, including the
+//! ablations DESIGN.md calls out (R-tree vs grid vs scan access path;
+//! DTB vs LPT assignment cost).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use tkij_core::{distribute, get_top_buckets, ComboSet, DistributionPolicy};
+use tkij_datagen::synthetic::{uniform_collection, SyntheticConfig};
+use tkij_index::{threshold_candidates, GridIndex, RTree, Window};
+use tkij_solver::{nary_bounds, pair_bounds, SolverConfig};
+use tkij_temporal::aggregate::Aggregation;
+use tkij_temporal::bucket::{BucketId, BucketMatrix};
+use tkij_temporal::collection::CollectionId;
+use tkij_temporal::expr::{EndpointBox, Side};
+use tkij_temporal::granule::TimePartitioning;
+use tkij_temporal::interval::Interval;
+use tkij_temporal::params::PredicateParams;
+use tkij_temporal::predicate::TemporalPredicate;
+use tkij_temporal::query::{table1, Query, QueryEdge};
+use tkij_temporal::result::{MatchTuple, TopK};
+
+fn sample_intervals(n: usize, seed: u64) -> Vec<Interval> {
+    uniform_collection(CollectionId(0), &SyntheticConfig::paper(n, seed))
+        .intervals()
+        .to_vec()
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let p = PredicateParams::P1;
+    let preds = [
+        TemporalPredicate::before(p),
+        TemporalPredicate::overlaps(p),
+        TemporalPredicate::starts(p),
+        TemporalPredicate::sparks(p, 10),
+    ];
+    let x = Interval::new(0, 100, 180).unwrap();
+    let y = Interval::new(1, 120, 260).unwrap();
+    c.bench_function("scoring/4_predicates_pair", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for pred in &preds {
+                acc += pred.score(black_box(&x), black_box(&y));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let cfg = SolverConfig::default();
+    let p = PredicateParams::new(4, 8, 0, 10);
+    let meets = TemporalPredicate::meets(p);
+    let left = EndpointBox::new((0, 2499), (0, 2499));
+    let right = EndpointBox::new((2500, 4999), (2500, 4999));
+    c.bench_function("solver/pair_bounds_meets", |b| {
+        b.iter(|| pair_bounds(black_box(&meets), left, right, &cfg))
+    });
+    let q = table1::q_sfm(PredicateParams::P1);
+    let boxes = vec![
+        EndpointBox::new((0, 249), (0, 249)),
+        EndpointBox::new((0, 249), (250, 499)),
+        EndpointBox::new((250, 499), (250, 499)),
+    ];
+    c.bench_function("solver/nary_bounds_qsfm", |b| {
+        b.iter(|| nary_bounds(black_box(&q), boxes.clone(), &cfg))
+    });
+}
+
+fn bench_index_ablation(c: &mut Criterion) {
+    let items = sample_intervals(20_000, 5);
+    let tree = RTree::bulk_load(items.clone());
+    let grid = GridIndex::build(items.clone(), 512);
+    let pred = TemporalPredicate::meets(PredicateParams::P1);
+    let anchor = Interval::new(99_999, 40_000, 50_000).unwrap();
+    let window: Window = pred.threshold_window(&anchor, Side::Left, 0.8).into();
+    let mut group = c.benchmark_group("index/threshold_window_20k");
+    group.bench_function("rtree", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            tree.window_query(black_box(&window), |_| n += 1);
+            n
+        })
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            grid.window_query(black_box(&window), |_| n += 1);
+            n
+        })
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| items.iter().filter(|iv| window.contains(iv)).count())
+    });
+    group.finish();
+    c.bench_function("index/bulk_load_20k", |b| {
+        b.iter_batched(|| items.clone(), RTree::bulk_load, BatchSize::SmallInput)
+    });
+    c.bench_function("index/threshold_candidates_exact", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            threshold_candidates(&tree, &pred, &anchor, Side::Left, 0.8, |cand| {
+                if pred.score(&anchor, cand) >= 0.8 {
+                    n += 1;
+                }
+            });
+            n
+        })
+    });
+}
+
+fn synthetic_combos(count: usize) -> ComboSet {
+    let mut set = ComboSet::new(2);
+    for i in 0..count {
+        let b = BucketId::new((i % 64) as u32, ((i / 64) % 64) as u32);
+        let ub = 1.0 - (i as f64 / count as f64);
+        set.push(&[b, b], (i % 97 + 1) as u64, ub * 0.5, ub);
+    }
+    set
+}
+
+fn bench_topbuckets(c: &mut Criterion) {
+    let set = synthetic_combos(50_000);
+    c.bench_function("topbuckets/get_top_buckets_50k", |b| {
+        b.iter(|| get_top_buckets(black_box(1000), &set).len())
+    });
+}
+
+fn assignment_fixture() -> (Query, Vec<BucketMatrix>, ComboSet) {
+    let part = TimePartitioning::from_range(0, 64 * 100 - 1, 64).unwrap();
+    let intervals: Vec<Interval> =
+        (0..64).map(|g| Interval::new(g, g as i64 * 100 + 1, g as i64 * 100 + 50).unwrap()).collect();
+    let m = BucketMatrix::build(part, &intervals);
+    let q = Query::new(
+        vec![CollectionId(0), CollectionId(0)],
+        vec![QueryEdge {
+            src: 0,
+            dst: 1,
+            predicate: TemporalPredicate::meets(PredicateParams::P1),
+        }],
+        Aggregation::NormalizedSum,
+    )
+    .unwrap();
+    (q, vec![m], synthetic_combos(10_000))
+}
+
+fn bench_distribute(c: &mut Criterion) {
+    let (q, matrices, combos) = assignment_fixture();
+    let mut group = c.benchmark_group("distribute/10k_combos_24_reducers");
+    group.bench_function("dtb", |b| {
+        b.iter(|| distribute(black_box(&combos), DistributionPolicy::Dtb, 24, &q, &matrices))
+    });
+    group.bench_function("lpt", |b| {
+        b.iter(|| distribute(black_box(&combos), DistributionPolicy::Lpt, 24, &q, &matrices))
+    });
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let tuples: Vec<MatchTuple> = (0..100_000u64)
+        .map(|i| MatchTuple::new(vec![i, i ^ 0x5555], ((i * 2654435761) % 1000) as f64 / 1000.0))
+        .collect();
+    c.bench_function("topk/offer_100k_k100", |b| {
+        b.iter(|| {
+            let mut top = TopK::new(100);
+            for t in &tuples {
+                top.offer(t.clone());
+            }
+            top.len()
+        })
+    });
+}
+
+fn bench_local_join(c: &mut Criterion) {
+    // One reducer joining two 2 000-interval buckets under s-meets.
+    let part = TimePartitioning::from_range(0, 99_999, 10).unwrap();
+    let left = sample_intervals(2_000, 11);
+    let right = sample_intervals(2_000, 12);
+    let q = Query::new(
+        vec![CollectionId(0), CollectionId(1)],
+        vec![QueryEdge {
+            src: 0,
+            dst: 1,
+            predicate: TemporalPredicate::meets(PredicateParams::P1),
+        }],
+        Aggregation::NormalizedSum,
+    )
+    .unwrap();
+    let plan = q.plan();
+    let matrix = BucketMatrix::build(part, &left);
+    let mut combos = ComboSet::new(2);
+    let mut data: HashMap<(u16, BucketId), Vec<Interval>> = HashMap::new();
+    for iv in &left {
+        data.entry((0, matrix.bucket_of(iv))).or_default().push(*iv);
+    }
+    for iv in &right {
+        data.entry((1, matrix.bucket_of(iv))).or_default().push(*iv);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for iv in &left {
+        let b = matrix.bucket_of(iv);
+        if seen.insert(b) {
+            combos.push(&[b, b], 1_000, 0.0, 1.0);
+        }
+    }
+    let indices: Vec<u32> = (0..combos.len() as u32).collect();
+    c.bench_function("localjoin/meets_2000x2000_k100", |b| {
+        b.iter(|| {
+            tkij_core::local_topk_join(&q, &plan, 100, &combos, &indices, &data).1.tuples_scored
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_scoring, bench_solver, bench_index_ablation, bench_topbuckets,
+              bench_distribute, bench_topk, bench_local_join
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §4 "Statistics collection" — offline statistics timing.
+//!
+//! Paper report: "Statistics collection lasted between 28 s for
+//! |Ci| = 2·10⁵ and 36 s for |Ci| = 5·10⁶" — i.e. it grows very slowly
+//! with the collection size (the job is scan + tiny matrices) and only
+//! |Ci| matters (g does not).
+
+use tkij_bench::{header, print_table, secs, Scale};
+use tkij_core::collect_statistics;
+use tkij_datagen::uniform_collections;
+use tkij_mapreduce::ClusterConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Statistics collection (offline) — timing vs |Ci| and g",
+        "28 s at |Ci| = 2*10^5 up to 36 s at 5*10^6 (only |Ci| matters)",
+        "sub-linear growth in |Ci|; insensitive to g",
+    );
+    let sizes: Vec<(usize, usize)> = [200_000usize, 1_000_000, 2_000_000, 5_000_000]
+        .iter()
+        .map(|&s| (s, scale.size(s)))
+        .collect();
+    let cluster = ClusterConfig::default();
+    let mut rows = Vec::new();
+    for (paper, size) in &sizes {
+        for &g in &[20u32, 40] {
+            let collections = uniform_collections(3, *size, 31415);
+            let (dataset, took) = tkij_bench::timed(|| {
+                collect_statistics(collections, g, &cluster).expect("stats")
+            });
+            rows.push(vec![
+                format!("{paper}->{size}"),
+                format!("g={g}"),
+                secs(took),
+                dataset.matrices[0].nonempty_len().to_string(),
+                dataset.stats_metrics.total_shuffle_records().to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &["|Ci| paper->run", "g", "time", "buckets(C1)", "shuffled matrices"],
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Per-phase timing probe for harness-scale tuning.
+use std::time::Instant;
+use tkij_core::*;
+use tkij_datagen::uniform_collections;
+use tkij_temporal::params::PredicateParams;
+use tkij_temporal::query::table1;
+
+fn main() {
+    let q = table1::q_oo(PredicateParams::P2);
+    let cfg = TkijConfig::default().with_granules(20);
+    let cluster = tkij_mapreduce::ClusterConfig::default();
+    let t = Instant::now();
+    let dataset = collect_statistics(uniform_collections(3, 20_000, 4242), 20, &cluster).unwrap();
+    eprintln!("prepare: {:?}", t.elapsed());
+    let t = Instant::now();
+    let (selected, stats) = run_topbuckets(&q, &dataset.matrices, 100, Strategy::Loose, &cfg.solver, 6);
+    eprintln!("topbuckets: {:?} candidates={} selected={} solver_calls={}", t.elapsed(), stats.candidates, stats.selected, stats.solver_calls);
+    let t = Instant::now();
+    let assignment = distribute(&selected, DistributionPolicy::Dtb, 24, &q, &dataset.matrices);
+    eprintln!("distribute: {:?} shuffle={}", t.elapsed(), assignment.estimated_shuffle_records);
+    let t = Instant::now();
+    let (outputs, _m) = run_join_phase(&dataset, &q, &selected, &assignment, 100, &cluster);
+    eprintln!("join: {:?}", t.elapsed());
+    let scored: u64 = outputs.iter().map(|o| o.stats.tuples_scored).sum();
+    let cands: u64 = outputs.iter().map(|o| o.stats.candidates_visited).sum();
+    eprintln!("tuples_scored={scored} candidates_visited={cands}");
+}

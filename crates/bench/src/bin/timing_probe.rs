@@ -1,0 +1,28 @@
+//! Quick engine-timing probe: one DTB/loose execution per representative
+//! query at fig-8-like settings, printing the phase breakdown. Handy when
+//! tuning harness scales (`cargo run --release -p tkij-bench --bin
+//! timing_probe`).
+
+use tkij_core::{DistributionPolicy, Strategy, Tkij, TkijConfig};
+use tkij_datagen::uniform_collections;
+use tkij_temporal::params::PredicateParams;
+use tkij_temporal::query::table1;
+
+fn main() {
+    for (name, q) in [
+        ("Qo,o", table1::q_oo(PredicateParams::P2)),
+        ("Qs,s", table1::q_ss(PredicateParams::P2)),
+        ("Qs,f,m", table1::q_sfm(PredicateParams::P2)),
+    ] {
+        let tk = Tkij::new(
+            TkijConfig::default()
+                .with_granules(20)
+                .with_strategy(Strategy::Loose)
+                .with_distribution(DistributionPolicy::Dtb),
+        );
+        let dataset = tk.prepare(uniform_collections(q.n(), 20_000, 4242)).unwrap();
+        let t = std::time::Instant::now();
+        let r = tk.execute(&dataset, &q, 100).unwrap();
+        println!("{name}: total {:?} | {}", t.elapsed(), r.phase_line());
+    }
+}

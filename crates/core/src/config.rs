@@ -1,0 +1,164 @@
+//! TKIJ engine configuration.
+
+use tkij_solver::SolverConfig;
+
+/// The TopBuckets strategy (paper §3.3, Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Solver bounds on full n-ary combinations (`brute-force`).
+    BruteForce,
+    /// Solver bounds per bucket pair, aggregated monotonically (`loose`) —
+    /// the paper's recommended strategy.
+    Loose,
+    /// `loose` selection, then exact n-ary refinement of the survivors
+    /// (`two-phase`).
+    TwoPhase,
+}
+
+impl Strategy {
+    /// All strategies with their paper names, for harness sweeps.
+    pub fn all() -> [(&'static str, Strategy); 3] {
+        [
+            ("brute-force", Strategy::BruteForce),
+            ("two-phase", Strategy::TwoPhase),
+            ("loose", Strategy::Loose),
+        ]
+    }
+
+    /// Paper name of the strategy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::BruteForce => "brute-force",
+            Strategy::Loose => "loose",
+            Strategy::TwoPhase => "two-phase",
+        }
+    }
+}
+
+/// The workload-distribution policy of the join phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistributionPolicy {
+    /// `DistributeTopBuckets` (Algorithm 3) — the paper's contribution:
+    /// spread high-scoring combinations evenly, minimize replication.
+    Dtb,
+    /// Longest-Processing-Time scheduling on `nbRes` — the baseline of
+    /// §4.2.2.
+    Lpt,
+}
+
+impl DistributionPolicy {
+    /// Paper name of the policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistributionPolicy::Dtb => "DTB",
+            DistributionPolicy::Lpt => "LPT",
+        }
+    }
+}
+
+/// Full configuration of a TKIJ execution.
+#[derive(Debug, Clone)]
+pub struct TkijConfig {
+    /// Number of granules `g` per collection (paper sweet spot: ≈ 40).
+    pub granules: u32,
+    /// Number of join-phase reducers `r` (paper: 24).
+    pub reducers: usize,
+    /// TopBuckets strategy.
+    pub strategy: Strategy,
+    /// Workload distribution policy.
+    pub distribution: DistributionPolicy,
+    /// Bound-solver configuration.
+    pub solver: SolverConfig,
+    /// Parallel TopBuckets groups (the paper splits B₁ into 6 worker
+    /// groups); 1 disables partitioning.
+    pub topbuckets_workers: usize,
+    /// Ablation switch: when `false`, `getTopBuckets` pruning is disabled
+    /// and every bucket combination is processed (bounds are still
+    /// computed and drive the UB-descending access order and runtime
+    /// early termination). Quantifies the benefit of Ω_{k,S} selection.
+    pub pruning: bool,
+}
+
+impl Default for TkijConfig {
+    fn default() -> Self {
+        TkijConfig {
+            granules: 40,
+            reducers: 24,
+            strategy: Strategy::Loose,
+            distribution: DistributionPolicy::Dtb,
+            // Bounds stay sound under a node cap and a 1 % convergence
+            // gap — they merely get (marginally) looser, which is the
+            // trade-off the paper's loose strategy embraces. Corner
+            // sampling makes most pair problems converge at the root.
+            solver: SolverConfig { eps: 0.01, max_nodes: 500 },
+            topbuckets_workers: 6,
+            pruning: true,
+        }
+    }
+}
+
+impl TkijConfig {
+    /// Convenience: override the number of granules.
+    pub fn with_granules(mut self, g: u32) -> Self {
+        self.granules = g;
+        self
+    }
+
+    /// Convenience: override the strategy.
+    pub fn with_strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Convenience: override the distribution policy.
+    pub fn with_distribution(mut self, d: DistributionPolicy) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Convenience: override the number of reducers.
+    pub fn with_reducers(mut self, r: usize) -> Self {
+        self.reducers = r;
+        self
+    }
+
+    /// Convenience: disable `getTopBuckets` pruning (ablation).
+    pub fn without_pruning(mut self) -> Self {
+        self.pruning = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TkijConfig::default();
+        assert_eq!(c.granules, 40);
+        assert_eq!(c.reducers, 24);
+        assert_eq!(c.strategy, Strategy::Loose);
+        assert_eq!(c.distribution, DistributionPolicy::Dtb);
+        assert_eq!(c.topbuckets_workers, 6);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = TkijConfig::default()
+            .with_granules(15)
+            .with_strategy(Strategy::TwoPhase)
+            .with_distribution(DistributionPolicy::Lpt)
+            .with_reducers(8);
+        assert_eq!(c.granules, 15);
+        assert_eq!(c.strategy.name(), "two-phase");
+        assert_eq!(c.distribution.name(), "LPT");
+        assert_eq!(c.reducers, 8);
+    }
+
+    #[test]
+    fn strategy_registry_names() {
+        let names: Vec<_> = Strategy::all().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["brute-force", "two-phase", "loose"]);
+    }
+}

@@ -1,0 +1,424 @@
+//! The TKIJ engine: orchestration of the full pipeline of paper Fig. 5
+//! and the [`ExecutionReport`] the evaluation section reads its numbers
+//! from.
+
+use crate::combos::TopBucketsStats;
+use crate::config::{DistributionPolicy, Strategy, TkijConfig};
+use crate::distribute::distribute;
+use crate::joinphase::run_join_phase;
+use crate::localjoin::LocalJoinStats;
+use crate::merge::run_merge_phase;
+use crate::stats::{collect_statistics, PreparedDataset};
+use crate::topbuckets::run_topbuckets;
+use std::time::Duration;
+use tkij_mapreduce::{ClusterConfig, JobMetrics};
+use tkij_temporal::collection::IntervalCollection;
+use tkij_temporal::error::TemporalError;
+use tkij_temporal::query::Query;
+use tkij_temporal::result::MatchTuple;
+
+/// The TKIJ query engine.
+///
+/// ```
+/// use tkij_core::{Tkij, TkijConfig};
+/// use tkij_datagen::uniform_collections;
+/// use tkij_temporal::params::PredicateParams;
+/// use tkij_temporal::query::table1;
+///
+/// let engine = Tkij::new(TkijConfig::default().with_granules(8).with_reducers(4));
+/// let dataset = engine.prepare(uniform_collections(3, 200, 42)).unwrap();
+/// let query = table1::q_om(PredicateParams::P1);
+/// let report = engine.execute(&dataset, &query, 10).unwrap();
+/// assert_eq!(report.results.len(), 10);
+/// assert!(report.results.windows(2).all(|w| w[0].score >= w[1].score));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tkij {
+    /// Algorithmic configuration.
+    pub config: TkijConfig,
+    /// Simulated cluster shape.
+    pub cluster: ClusterConfig,
+}
+
+impl Tkij {
+    /// An engine with the given configuration and the paper's default
+    /// cluster (6 workers, 24 reducers).
+    pub fn new(config: TkijConfig) -> Self {
+        Tkij { config, cluster: ClusterConfig::default() }
+    }
+
+    /// An engine with an explicit cluster shape.
+    pub fn with_cluster(config: TkijConfig, cluster: ClusterConfig) -> Self {
+        Tkij { config, cluster }
+    }
+
+    /// Offline phase: collects statistics for a dataset (paper §3.2).
+    pub fn prepare(
+        &self,
+        collections: Vec<IntervalCollection>,
+    ) -> Result<PreparedDataset, TemporalError> {
+        collect_statistics(collections, self.config.granules, &self.cluster)
+    }
+
+    /// Online phase: evaluates an RTJ query, returning the exact top-k and
+    /// the full execution report.
+    pub fn execute(
+        &self,
+        dataset: &PreparedDataset,
+        query: &Query,
+        k: usize,
+    ) -> Result<ExecutionReport, TemporalError> {
+        if k == 0 {
+            return Err(TemporalError::InvalidQuery("k must be ≥ 1".into()));
+        }
+        for cid in &query.vertices {
+            if cid.0 as usize >= dataset.collections.len() {
+                return Err(TemporalError::InvalidQuery(format!(
+                    "query references {} but the dataset has {} collections",
+                    cid,
+                    dataset.collections.len()
+                )));
+            }
+        }
+
+        // (b) TopBuckets: bound and prune bucket combinations. The
+        // ablation switch keeps the bounds (for ordering and runtime
+        // termination) but retains every combination.
+        let effective_k = if self.config.pruning { k as u64 } else { u64::MAX };
+        let (selected, topbuckets) = run_topbuckets(
+            query,
+            &dataset.matrices,
+            effective_k,
+            self.config.strategy,
+            &self.config.solver,
+            self.config.topbuckets_workers,
+        );
+
+        // (c) Workload distribution.
+        let assignment = distribute(
+            &selected,
+            self.config.distribution,
+            self.config.reducers,
+            query,
+            &dataset.matrices,
+        );
+
+        // (d) Distributed local joins.
+        let (outputs, join_metrics) =
+            run_join_phase(dataset, query, &selected, &assignment, k, &self.cluster);
+
+        // (e) Merge.
+        let (results, merge_metrics) = run_merge_phase(&outputs, k, &self.cluster);
+
+        let mut local_stats = Vec::with_capacity(outputs.len());
+        let mut reducer_kth_scores = Vec::new();
+        for o in outputs {
+            if !o.results.is_empty() {
+                reducer_kth_scores.push(o.stats.kth_score);
+            }
+            local_stats.push(o.stats);
+        }
+
+        Ok(ExecutionReport {
+            query_name: query.name(),
+            k,
+            granules: dataset.granules,
+            strategy: self.config.strategy,
+            policy: self.config.distribution,
+            topbuckets,
+            distribution: DistributionSummary {
+                policy: self.config.distribution,
+                duration: assignment.duration,
+                replication_factor: assignment.replication_factor,
+                estimated_shuffle_records: assignment.estimated_shuffle_records,
+                result_imbalance: assignment.result_imbalance(),
+            },
+            join: join_metrics,
+            merge: merge_metrics,
+            local_stats,
+            reducer_kth_scores,
+            results,
+        })
+    }
+}
+
+/// Summary of the distribution phase.
+#[derive(Debug, Clone)]
+pub struct DistributionSummary {
+    /// Policy used (DTB or LPT).
+    pub policy: DistributionPolicy,
+    /// Wall time of the assignment computation.
+    pub duration: Duration,
+    /// Average number of reducers each needed record ships to.
+    pub replication_factor: f64,
+    /// Records the join shuffle will move.
+    pub estimated_shuffle_records: u64,
+    /// Worst-case `max/avg` potential-result imbalance.
+    pub result_imbalance: f64,
+}
+
+/// Everything one TKIJ execution produces: the exact top-k plus the
+/// telemetry each figure of the paper's evaluation is built from.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Paper-style query name.
+    pub query_name: String,
+    /// Result budget.
+    pub k: usize,
+    /// Granules the statistics were collected with.
+    pub granules: u32,
+    /// TopBuckets strategy used.
+    pub strategy: Strategy,
+    /// Distribution policy used.
+    pub policy: DistributionPolicy,
+    /// TopBuckets telemetry (Fig. 9 black box, Fig. 10c pruning curve).
+    pub topbuckets: TopBucketsStats,
+    /// Distribution telemetry (shuffle cost comparisons of §4.2.2).
+    pub distribution: DistributionSummary,
+    /// Join-phase job metrics (Fig. 8b max reducer time, Fig. 10b
+    /// imbalance).
+    pub join: JobMetrics,
+    /// Merge-phase job metrics.
+    pub merge: JobMetrics,
+    /// Per-reducer local join telemetry.
+    pub local_stats: Vec<LocalJoinStats>,
+    /// `kth` (minimum) local score per non-empty reducer (Fig. 8c).
+    pub reducer_kth_scores: Vec<f64>,
+    /// The exact top-k, best first.
+    pub results: Vec<MatchTuple>,
+}
+
+impl ExecutionReport {
+    /// Measured wall time of the online phases.
+    pub fn total_wall(&self) -> Duration {
+        self.topbuckets.duration + self.distribution.duration + self.join.wall + self.merge.wall
+    }
+
+    /// Simulated cluster running time: TopBuckets and distribution run on
+    /// the driver; the two Map-Reduce jobs are list-scheduled onto the
+    /// cluster's slots (see `tkij-mapreduce`).
+    pub fn simulated_total(&self, cluster: &ClusterConfig) -> Duration {
+        self.topbuckets.duration
+            + self.distribution.duration
+            + self.join.simulated_runtime(cluster)
+            + self.merge.simulated_runtime(cluster)
+    }
+
+    /// Minimum score of the k-th result across reducers (Fig. 8c).
+    pub fn min_kth_score(&self) -> f64 {
+        self.reducer_kth_scores.iter().copied().fold(f64::INFINITY, f64::min).min(1.0)
+    }
+
+    /// Total tuples materialized by all reducers ("intermediate results").
+    pub fn tuples_scored(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.tuples_scored).sum()
+    }
+
+    /// Share of the potential result space pruned by TopBuckets (Fig 10c).
+    pub fn pruned_pct(&self) -> f64 {
+        self.topbuckets.pruned_pct()
+    }
+
+    /// One-line phase breakdown (Fig. 9 / Fig. 10c style).
+    pub fn phase_line(&self) -> String {
+        format!(
+            "TopBuckets {:>8.3}s | DTB {:>8.3}s | Join {:>8.3}s | Merge {:>8.3}s",
+            self.topbuckets.duration.as_secs_f64(),
+            self.distribution.duration.as_secs_f64(),
+            self.join.wall.as_secs_f64(),
+            self.merge.wall.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_topk;
+    use tkij_datagen::uniform_collections;
+    use tkij_temporal::params::PredicateParams;
+    use tkij_temporal::query::table1;
+
+    fn engine(g: u32, r: usize) -> Tkij {
+        Tkij::new(TkijConfig::default().with_granules(g).with_reducers(r))
+    }
+
+    /// Exactness in the paper's sense: the returned score sequence equals
+    /// the oracle's, and every returned tuple is genuine (its recomputed
+    /// score matches). Tuple *ids* may differ from the oracle only among
+    /// equal scores: TopBuckets legitimately prunes combinations that can
+    /// merely tie the k-th score.
+    fn assert_exact(
+        name: &str,
+        q: &Query,
+        dataset: &crate::stats::PreparedDataset,
+        report: &ExecutionReport,
+        k: usize,
+    ) {
+        let refs: Vec<_> =
+            q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
+        let expected = naive_topk(q, &refs, k);
+        assert_eq!(report.results.len(), expected.len(), "{name}");
+        for (g, e) in report.results.iter().zip(&expected) {
+            assert!((g.score - e.score).abs() < 1e-9, "{name}: {g:?} vs {e:?}");
+            // Returned tuples must be genuine.
+            let tuple: Vec<_> = g
+                .ids
+                .iter()
+                .zip(&q.vertices)
+                .map(|(id, c)| {
+                    *dataset.collections[c.0 as usize]
+                        .intervals()
+                        .iter()
+                        .find(|iv| iv.id == *id)
+                        .unwrap_or_else(|| panic!("{name}: unknown id {id}"))
+                })
+                .collect();
+            let rescored = q.score_tuple(&tuple);
+            assert!((rescored - g.score).abs() < 1e-9, "{name}: reported score is wrong");
+        }
+    }
+
+    #[test]
+    fn end_to_end_matches_naive_all_queries() {
+        let tk = engine(6, 5);
+        let dataset = tk.prepare(uniform_collections(3, 50, 2024)).unwrap();
+        let avg = dataset.collections[0].avg_length();
+        for (name, q) in table1::all(PredicateParams::P1, avg) {
+            let report = tk.execute(&dataset, &q, 7).unwrap();
+            assert_exact(name, &q, &dataset, &report, 7);
+        }
+    }
+
+    #[test]
+    fn all_strategy_policy_combinations_agree() {
+        let base = uniform_collections(3, 40, 99);
+        let q = table1::q_sm(PredicateParams::P2);
+        let mut reference: Option<Vec<f64>> = None;
+        for (_, strategy) in Strategy::all() {
+            for policy in [DistributionPolicy::Dtb, DistributionPolicy::Lpt] {
+                let tk = Tkij::new(
+                    TkijConfig::default()
+                        .with_granules(5)
+                        .with_reducers(3)
+                        .with_strategy(strategy)
+                        .with_distribution(policy),
+                );
+                let dataset = tk.prepare(base.clone()).unwrap();
+                let report = tk.execute(&dataset, &q, 9).unwrap();
+                let scores: Vec<f64> = report.results.iter().map(|t| t.score).collect();
+                match &reference {
+                    None => reference = Some(scores),
+                    Some(r) => {
+                        assert_eq!(r.len(), scores.len(), "{}/{policy:?}", strategy.name());
+                        for (a, b) in r.iter().zip(&scores) {
+                            assert!((a - b).abs() < 1e-9, "{}/{policy:?}", strategy.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_telemetry_is_consistent() {
+        let tk = engine(8, 6);
+        let dataset = tk.prepare(uniform_collections(3, 80, 7)).unwrap();
+        let q = table1::q_oo(PredicateParams::P1);
+        let report = tk.execute(&dataset, &q, 5).unwrap();
+        assert_eq!(report.results.len(), 5);
+        assert!(report.results.windows(2).all(|w| w[0].score >= w[1].score));
+        assert_eq!(report.local_stats.len(), 6, "one stats record per reducer");
+        assert!(report.topbuckets.selected > 0);
+        assert!(report.topbuckets.selected <= report.topbuckets.candidates);
+        assert!(report.distribution.replication_factor >= 1.0);
+        assert!(report.min_kth_score() <= 1.0);
+        assert!(report.total_wall() >= report.topbuckets.duration);
+        assert!(!report.phase_line().is_empty());
+        assert!(report.pruned_pct() >= 0.0 && report.pruned_pct() <= 100.0);
+        // The join shuffle matches the assignment estimate.
+        assert_eq!(
+            report.join.total_shuffle_records(),
+            report.distribution.estimated_shuffle_records
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let tk = engine(4, 2);
+        let dataset = tk.prepare(uniform_collections(2, 10, 1)).unwrap();
+        let q3 = table1::q_bb(PredicateParams::P1); // needs 3 collections
+        assert!(tk.execute(&dataset, &q3, 5).is_err());
+        let q2 = {
+            use tkij_temporal::{aggregate::Aggregation, collection::CollectionId, query::QueryEdge};
+            Query::new(
+                vec![CollectionId(0), CollectionId(1)],
+                vec![QueryEdge {
+                    src: 0,
+                    dst: 1,
+                    predicate: tkij_temporal::predicate::TemporalPredicate::before(
+                        PredicateParams::P1,
+                    ),
+                }],
+                Aggregation::NormalizedSum,
+            )
+            .unwrap()
+        };
+        assert!(tk.execute(&dataset, &q2, 0).is_err(), "k = 0 rejected");
+        assert!(tk.execute(&dataset, &q2, 3).is_ok());
+    }
+
+    #[test]
+    fn no_pruning_ablation_same_results_more_work() {
+        let collections = uniform_collections(3, 60, 500);
+        let q = table1::q_om(PredicateParams::P1);
+        let pruned = Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4));
+        let unpruned = Tkij::new(
+            TkijConfig::default().with_granules(6).with_reducers(4).without_pruning(),
+        );
+        let d1 = pruned.prepare(collections.clone()).unwrap();
+        let d2 = unpruned.prepare(collections).unwrap();
+        let r1 = pruned.execute(&d1, &q, 5).unwrap();
+        let r2 = unpruned.execute(&d2, &q, 5).unwrap();
+        // Same exact answers...
+        let s1: Vec<f64> = r1.results.iter().map(|t| t.score).collect();
+        let s2: Vec<f64> = r2.results.iter().map(|t| t.score).collect();
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // ...but the ablation keeps every combination and ships more.
+        assert_eq!(r2.topbuckets.selected, r2.topbuckets.candidates);
+        assert!(r1.topbuckets.selected <= r2.topbuckets.selected);
+        assert!(
+            r1.distribution.estimated_shuffle_records
+                <= r2.distribution.estimated_shuffle_records
+        );
+    }
+
+    #[test]
+    fn k_exceeding_result_space_returns_everything() {
+        let tk = engine(3, 2);
+        let dataset = tk.prepare(uniform_collections(3, 4, 13)).unwrap();
+        let q = table1::q_bb(PredicateParams::P1);
+        let report = tk.execute(&dataset, &q, 1000).unwrap();
+        assert_eq!(report.results.len(), 64, "4³ tuples exist");
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_worker_threads() {
+        let q = table1::q_sfm(PredicateParams::P1);
+        let mut reports = Vec::new();
+        for threads in [0, 3] {
+            let tk = Tkij::with_cluster(
+                TkijConfig::default().with_granules(5).with_reducers(4),
+                ClusterConfig { worker_threads: threads, ..Default::default() },
+            );
+            let dataset = tk.prepare(uniform_collections(3, 60, 555)).unwrap();
+            let report = tk.execute(&dataset, &q, 6).unwrap();
+            reports.push(report);
+        }
+        let a: Vec<_> = reports[0].results.iter().map(|t| (t.ids.clone(), t.score)).collect();
+        let b: Vec<_> = reports[1].results.iter().map(|t| (t.ids.clone(), t.score)).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,281 @@
+//! The distributed join phase (paper Fig. 5c–d): one Map-Reduce job that
+//! ships every interval to the reducers whose bucket combinations need
+//! it, then runs the local top-k join on each reducer.
+//!
+//! "For each input interval x, a mapper computes the bucket b in which x
+//! falls. Then x is communicated to all reducers r_j that received b."
+
+use crate::combos::ComboSet;
+use crate::distribute::Assignment;
+use crate::localjoin::LocalJoinStats;
+use crate::stats::PreparedDataset;
+use std::collections::HashMap;
+use tkij_mapreduce::{run_map_reduce, ClusterConfig, JobMetrics, SizeOf};
+use tkij_temporal::bucket::BucketId;
+use tkij_temporal::interval::Interval;
+use tkij_temporal::query::Query;
+use tkij_temporal::result::MatchTuple;
+
+/// The output of one reducer: its local top-k and telemetry.
+#[derive(Debug, Clone)]
+pub struct ReducerOutput {
+    /// Reducer index.
+    pub reducer: u32,
+    /// Local top-k results (unsorted accumulator dump, merge-phase input).
+    pub results: Vec<MatchTuple>,
+    /// Local join telemetry.
+    pub stats: LocalJoinStats,
+}
+
+/// Shuffle record: an interval tagged with the query vertex it plays.
+struct VRec(u16, Interval);
+
+impl SizeOf for VRec {
+    fn size_bytes(&self) -> usize {
+        2 + 24 // vertex tag + (id, start, end)
+    }
+}
+
+/// Runs the join phase. `combos` must be the selected `Ω_{k,S}` that
+/// `assignment` distributes.
+pub fn run_join_phase(
+    dataset: &PreparedDataset,
+    query: &Query,
+    combos: &ComboSet,
+    assignment: &Assignment,
+    k: usize,
+    cluster: &ClusterConfig,
+) -> (Vec<ReducerOutput>, JobMetrics) {
+    run_join_phase_with(dataset, query, combos, assignment, k, cluster, None)
+}
+
+/// [`run_join_phase`] with an optional attribute filter (hybrid queries).
+#[allow(clippy::too_many_arguments)]
+pub fn run_join_phase_with(
+    dataset: &PreparedDataset,
+    query: &Query,
+    combos: &ComboSet,
+    assignment: &Assignment,
+    k: usize,
+    cluster: &ClusterConfig,
+    filter: Option<&dyn crate::localjoin::TupleFilter>,
+) -> (Vec<ReducerOutput>, JobMetrics) {
+    // Map input: the intervals of every collection some vertex reads.
+    let mut used = vec![false; dataset.collections.len()];
+    for cid in &query.vertices {
+        used[cid.0 as usize] = true;
+    }
+    let mut inputs: Vec<(u32, Interval)> = Vec::new();
+    for (c, coll) in dataset.collections.iter().enumerate() {
+        if used[c] {
+            inputs.extend(coll.intervals().iter().map(|iv| (c as u32, *iv)));
+        }
+    }
+    // vertex lists per collection (vertices sharing a collection each get
+    // their own shipment role).
+    let mut vertices_of: Vec<Vec<u16>> = vec![Vec::new(); dataset.collections.len()];
+    for (v, cid) in query.vertices.iter().enumerate() {
+        vertices_of[cid.0 as usize].push(v as u16);
+    }
+    let plan = query.plan();
+
+    run_map_reduce(
+        &inputs,
+        cluster.map_slots.max(1) * 2,
+        assignment.num_reducers,
+        |_, chunk, em| {
+            for (c, iv) in chunk {
+                let matrix = &dataset.matrices[*c as usize];
+                let bucket = matrix.bucket_of(iv);
+                for &v in &vertices_of[*c as usize] {
+                    if let Some(reducers) = assignment.bucket_map.get(&(v, bucket)) {
+                        for &r in reducers {
+                            em.emit(r, VRec(v, *iv));
+                        }
+                    }
+                }
+            }
+        },
+        |r| *r as usize,
+        |p, groups| {
+            // Reassemble this reducer's (vertex, bucket) → intervals map.
+            let mut data: HashMap<(u16, BucketId), Vec<Interval>> = HashMap::new();
+            for (r, records) in groups {
+                debug_assert_eq!(r as usize, p);
+                for VRec(v, iv) in records {
+                    let matrix =
+                        &dataset.matrices[query.vertices[v as usize].0 as usize];
+                    data.entry((v, matrix.bucket_of(&iv))).or_default().push(iv);
+                }
+            }
+            for bucket in data.values_mut() {
+                bucket.sort_unstable_by_key(|iv| (iv.start, iv.end, iv.id));
+            }
+            let (topk, stats) = crate::localjoin::local_topk_join_with(
+                query,
+                &plan,
+                k,
+                combos,
+                &assignment.reducer_combos[p],
+                &data,
+                filter,
+            );
+            vec![ReducerOutput { reducer: p as u32, results: topk.into_sorted_vec(), stats }]
+        },
+        cluster,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DistributionPolicy, Strategy};
+    use crate::distribute::distribute;
+    use crate::naive::naive_topk;
+    use crate::stats::collect_statistics;
+    use crate::topbuckets::run_topbuckets;
+    use tkij_datagen::uniform_collections;
+    use tkij_solver::SolverConfig;
+    use tkij_temporal::collection::IntervalCollection;
+    use tkij_temporal::params::PredicateParams;
+    use tkij_temporal::query::table1;
+
+    fn run_pipeline(
+        collections: Vec<IntervalCollection>,
+        query: &Query,
+        k: usize,
+        g: u32,
+        reducers: usize,
+        policy: DistributionPolicy,
+    ) -> (Vec<ReducerOutput>, JobMetrics, Vec<MatchTuple>) {
+        let cluster = ClusterConfig::default();
+        let dataset = collect_statistics(collections, g, &cluster).unwrap();
+        let (selected, _) = run_topbuckets(
+            query,
+            &dataset.matrices,
+            k as u64,
+            Strategy::Loose,
+            &SolverConfig::default(),
+            2,
+        );
+        let assignment = distribute(&selected, policy, reducers, query, &dataset.matrices);
+        let (outputs, metrics) =
+            run_join_phase(&dataset, query, &selected, &assignment, k, &cluster);
+        let refs: Vec<&IntervalCollection> =
+            query.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
+        let expected = naive_topk(query, &refs, k);
+        (outputs, metrics, expected)
+    }
+
+    #[test]
+    fn reducers_jointly_cover_the_exact_topk() {
+        let collections = uniform_collections(3, 60, 77);
+        let q = table1::q_om(PredicateParams::P1);
+        let k = 8;
+        for policy in [DistributionPolicy::Dtb, DistributionPolicy::Lpt] {
+            let (outputs, metrics, expected) =
+                run_pipeline(collections.clone(), &q, k, 6, 4, policy);
+            // Globally merge local top-ks; must equal the oracle.
+            let mut all = tkij_temporal::result::TopK::new(k);
+            for o in &outputs {
+                for t in &o.results {
+                    all.offer(t.clone());
+                }
+            }
+            let got = all.into_sorted_vec();
+            assert_eq!(got.len(), expected.len(), "{policy:?}");
+            for (g, e) in got.iter().zip(&expected) {
+                // Score sequences must match exactly; ids may differ only
+                // among equal scores (ties prunable by TopBuckets).
+                assert!((g.score - e.score).abs() < 1e-9, "{policy:?}: {g:?} vs {e:?}");
+            }
+            assert_eq!(metrics.reduce_durations.len(), 4);
+            assert!(metrics.total_shuffle_records() > 0);
+        }
+    }
+
+    #[test]
+    fn shuffle_matches_assignment_estimate() {
+        let collections = uniform_collections(2, 40, 5);
+        let p = PredicateParams::P2;
+        let q = Query::new(
+            vec![
+                tkij_temporal::collection::CollectionId(0),
+                tkij_temporal::collection::CollectionId(1),
+            ],
+            vec![tkij_temporal::query::QueryEdge {
+                src: 0,
+                dst: 1,
+                predicate: tkij_temporal::predicate::TemporalPredicate::before(p),
+            }],
+            tkij_temporal::aggregate::Aggregation::NormalizedSum,
+        )
+        .unwrap();
+        let cluster = ClusterConfig::default();
+        let dataset = collect_statistics(collections, 5, &cluster).unwrap();
+        let (selected, _) = run_topbuckets(
+            &q,
+            &dataset.matrices,
+            4,
+            Strategy::Loose,
+            &SolverConfig::default(),
+            1,
+        );
+        let assignment =
+            distribute(&selected, DistributionPolicy::Dtb, 3, &q, &dataset.matrices);
+        let (_, metrics) = run_join_phase(&dataset, &q, &selected, &assignment, 4, &cluster);
+        assert_eq!(
+            metrics.total_shuffle_records(),
+            assignment.estimated_shuffle_records,
+            "mapper shipment must equal DTB's estimate"
+        );
+    }
+
+    #[test]
+    fn self_join_ships_per_vertex_roles() {
+        // Both vertices read collection 0: every needed interval is
+        // shipped once per vertex role.
+        let collections = uniform_collections(1, 30, 9);
+        let q = Query::new(
+            vec![
+                tkij_temporal::collection::CollectionId(0),
+                tkij_temporal::collection::CollectionId(0),
+            ],
+            vec![tkij_temporal::query::QueryEdge {
+                src: 0,
+                dst: 1,
+                predicate: tkij_temporal::predicate::TemporalPredicate::meets(
+                    PredicateParams::P1,
+                ),
+            }],
+            tkij_temporal::aggregate::Aggregation::NormalizedSum,
+        )
+        .unwrap();
+        let cluster = ClusterConfig::default();
+        let dataset = collect_statistics(collections, 4, &cluster).unwrap();
+        let (selected, _) = run_topbuckets(
+            &q,
+            &dataset.matrices,
+            5,
+            Strategy::Loose,
+            &SolverConfig::default(),
+            1,
+        );
+        let assignment =
+            distribute(&selected, DistributionPolicy::Dtb, 2, &q, &dataset.matrices);
+        let (outputs, _) = run_join_phase(&dataset, &q, &selected, &assignment, 5, &cluster);
+        let mut all = tkij_temporal::result::TopK::new(5);
+        for o in outputs {
+            for t in o.results {
+                all.offer(t);
+            }
+        }
+        let refs = vec![&dataset.collections[0], &dataset.collections[0]];
+        let expected = naive_topk(&q, &refs, 5);
+        let got = all.into_sorted_vec();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g.score - e.score).abs() < 1e-9, "{g:?} vs {e:?}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # tkij-core — Top-K Interval Joins
+//!
+//! The reference implementation of **TKIJ** (Pilourdault, Leroy,
+//! Amer-Yahia: *Distributed Evaluation of Top-k Temporal Joins*,
+//! SIGMOD 2016): exact top-k evaluation of n-ary Ranked Temporal Join
+//! queries on a Map-Reduce substrate.
+//!
+//! The pipeline follows the paper's Fig. 5:
+//!
+//! 1. **Statistics collection** ([`stats`], offline): one bucket matrix
+//!    per collection over `g` uniform time granules.
+//! 2. **TopBuckets** ([`topbuckets`], per query): solver-backed score
+//!    bounds on bucket combinations and the `getTopBuckets` pruning of
+//!    Algorithm 1, under the `brute-force` / `loose` / `two-phase`
+//!    strategies of Algorithm 2.
+//! 3. **DistributeTopBuckets** ([`distribute`]): Algorithms 3–4, plus the
+//!    LPT baseline of §4.2.2.
+//! 4. **Distributed join** ([`joinphase`], [`localjoin`]): per-reducer
+//!    rank-joins with R-tree threshold access and early termination.
+//! 5. **Merge** ([`merge`]): the final global top-k.
+//!
+//! The [`Tkij`] engine ties the phases together and emits an
+//! [`ExecutionReport`] carrying every statistic the paper's evaluation
+//! plots. [`naive`] provides the exhaustive oracle used to verify the
+//! engine's exactness guarantee. [`hybrid`] implements the paper's
+//! future-work extension: attribute constraints alongside temporal
+//! predicates.
+
+pub mod combos;
+pub mod config;
+pub mod distribute;
+pub mod engine;
+pub mod hybrid;
+pub mod joinphase;
+pub mod localjoin;
+pub mod merge;
+pub mod naive;
+pub mod stats;
+pub mod topbuckets;
+
+pub use combos::{ComboSet, TopBucketsStats, VertexBuckets};
+pub use config::{DistributionPolicy, Strategy, TkijConfig};
+pub use distribute::{distribute, Assignment};
+pub use engine::{DistributionSummary, ExecutionReport, Tkij};
+pub use joinphase::{run_join_phase, ReducerOutput};
+pub use localjoin::{local_topk_join, LocalJoinStats};
+pub use merge::run_merge_phase;
+pub use naive::{all_pair_scores, naive_boolean, naive_topk};
+pub use stats::{collect_statistics, PreparedDataset};
+pub use topbuckets::{get_top_buckets, run_topbuckets};

@@ -1,0 +1,506 @@
+//! The per-reducer top-k RTJ evaluation (paper Fig. 5d and §4,
+//! "Distributed join processing").
+//!
+//! Each reducer receives a set of bucket combinations `Ω_{r_j}` plus the
+//! interval data of every (vertex, bucket) those combinations touch. It
+//! evaluates the full query locally with a rank-join:
+//!
+//! * combinations are processed in **descending upper-bound order** and
+//!   the loop stops as soon as a combination's UB falls below the current
+//!   k-th score `τ` (no remaining combination can contribute);
+//! * inside a combination, tuples are grown along the query's
+//!   [`JoinPlan`]; candidates for the next vertex are fetched from the
+//!   bucket's R-tree with a **score-threshold window** derived from `τ`
+//!   and the already-fixed edge scores (the paper's "returns only
+//!   intervals x_j s.t. s-p(x_i, x_j) ≥ v");
+//! * cycle edges are checked exactly, and partial tuples whose optimistic
+//!   completion cannot reach `τ` are pruned.
+//!
+//! Pruning uses *strict* comparisons against `τ`, so every tuple that
+//! could enter the final top-k (including ties resolved by the
+//! deterministic id order) is still generated — local results equal the
+//! naive oracle's exactly, which the tests verify.
+
+use crate::combos::ComboSet;
+use std::collections::HashMap;
+use tkij_index::{threshold_candidates, RTree};
+use tkij_temporal::bucket::BucketId;
+use tkij_temporal::expr::Side;
+use tkij_temporal::interval::Interval;
+use tkij_temporal::query::{JoinPlan, Query};
+use tkij_temporal::result::{MatchTuple, TopK};
+
+/// Telemetry of one reducer's local join.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalJoinStats {
+    /// Combinations assigned to this reducer.
+    pub combos_assigned: usize,
+    /// Combinations actually processed before early termination.
+    pub combos_processed: usize,
+    /// Full tuples scored and offered to the local top-k.
+    pub tuples_scored: u64,
+    /// Candidate intervals visited through index windows.
+    pub candidates_visited: u64,
+    /// Minimum score among the returned local top-k (Fig. 8c), 0 when
+    /// empty.
+    pub kth_score: f64,
+}
+
+/// A predicate over *partial* tuples (entries are `None` until their
+/// vertex is bound), used by hybrid queries to reject tuples on
+/// non-temporal attributes as early as possible. Must be monotone:
+/// once a partial tuple is rejected, every extension is too.
+pub trait TupleFilter: Sync {
+    /// Whether the partial tuple may still produce results.
+    fn admits(&self, tuple: &[Option<Interval>]) -> bool;
+}
+
+/// Runs the local top-k join of one reducer.
+///
+/// `combo_indices` lists this reducer's combinations (indices into
+/// `combos`); they are re-sorted by descending UB internally. `data` maps
+/// each (vertex, bucket) to the intervals shipped for it.
+pub fn local_topk_join(
+    query: &Query,
+    plan: &JoinPlan,
+    k: usize,
+    combos: &ComboSet,
+    combo_indices: &[u32],
+    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+) -> (TopK, LocalJoinStats) {
+    local_topk_join_with(query, plan, k, combos, combo_indices, data, None)
+}
+
+/// [`local_topk_join`] with an optional attribute filter (hybrid
+/// queries). Filtering never breaks exactness: combination upper bounds
+/// remain valid for any tuple subset, and the admission threshold only
+/// tracks surviving tuples.
+pub fn local_topk_join_with(
+    query: &Query,
+    plan: &JoinPlan,
+    k: usize,
+    combos: &ComboSet,
+    combo_indices: &[u32],
+    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    filter: Option<&dyn TupleFilter>,
+) -> (TopK, LocalJoinStats) {
+    let mut stats = LocalJoinStats { combos_assigned: combo_indices.len(), ..Default::default() };
+    let mut topk = TopK::new(k);
+
+    // Index every shipped bucket once; reused across combinations.
+    let trees: HashMap<(u16, BucketId), RTree> = data
+        .iter()
+        .map(|(&key, intervals)| (key, RTree::bulk_load(intervals.clone())))
+        .collect();
+
+    // Access order: descending upper bound (paper §4).
+    let mut order: Vec<u32> = combo_indices.to_vec();
+    order.sort_by(|&a, &b| {
+        combos
+            .ub(b as usize)
+            .total_cmp(&combos.ub(a as usize))
+            .then_with(|| combos.buckets(a as usize).cmp(combos.buckets(b as usize)))
+    });
+
+    let mut cx = JoinCx {
+        query,
+        plan,
+        trees: &trees,
+        topk: &mut topk,
+        stats: &mut stats,
+        tuple: vec![None; query.n()],
+        fixed: Vec::with_capacity(query.edges.len()),
+        filter,
+    };
+
+    for &ci in &order {
+        let ci = ci as usize;
+        // Once the heap is full, a combination whose UB only *ties* the
+        // k-th score cannot change the top-k score multiset: skip it.
+        // (The paper's guarantee is the exact top-k ranking by score; tie
+        // tuples are interchangeable.)
+        if cx.topk.is_full() && combos.ub(ci) <= cx.topk.admission_score() {
+            break; // no remaining combination can beat the k-th result
+        }
+        cx.stats.combos_processed += 1;
+        cx.process_combo(combos.buckets(ci), combos.ub(ci));
+    }
+
+    stats.kth_score = topk.min_score().unwrap_or(0.0);
+    (topk, stats)
+}
+
+/// Mutable evaluation context threaded through the recursion.
+struct JoinCx<'a> {
+    query: &'a Query,
+    plan: &'a JoinPlan,
+    trees: &'a HashMap<(u16, BucketId), RTree>,
+    topk: &'a mut TopK,
+    stats: &'a mut LocalJoinStats,
+    /// Partial tuple, indexed by vertex.
+    tuple: Vec<Option<Interval>>,
+    /// Fixed (edge, score) pairs along the current path.
+    fixed: Vec<(usize, f64)>,
+    /// Optional attribute filter (hybrid queries).
+    filter: Option<&'a dyn TupleFilter>,
+}
+
+impl JoinCx<'_> {
+    fn process_combo(&mut self, buckets: &[BucketId], combo_ub: f64) {
+        let first = &self.plan.steps[0];
+        let Some(tree) = self.trees.get(&(first.vertex as u16, buckets[first.vertex])) else {
+            return; // bucket had no shipped data
+        };
+        // Iterate a snapshot: trees are immutable, items are sorted.
+        for x in tree.items() {
+            if self.topk.is_full() && combo_ub <= self.topk.admission_score() {
+                break; // the whole combination became dominated mid-way
+            }
+            self.tuple[first.vertex] = Some(*x);
+            if self.filter.is_none_or(|f| f.admits(&self.tuple)) {
+                self.extend(1, buckets);
+            }
+            self.tuple[first.vertex] = None;
+        }
+    }
+
+    /// Grows the tuple at plan step `s`.
+    fn extend(&mut self, s: usize, buckets: &[BucketId]) {
+        if s == self.plan.steps.len() {
+            self.finish();
+            return;
+        }
+        let step = &self.plan.steps[s];
+        let anchor = step.anchor.expect("non-first steps have anchors");
+        let edge = &self.query.edges[anchor.edge];
+        let anchor_iv = self.tuple[anchor.bound_vertex].expect("anchor bound");
+        let tau = self.topk.admission_score();
+        // With a full heap, only strictly-better totals matter (ties
+        // cannot change the score multiset).
+        let strict = self.topk.is_full();
+        let needed = self.query.aggregation.required_edge_score(
+            &self.fixed,
+            anchor.edge,
+            self.query.edges.len(),
+            tau,
+        );
+        if needed > 1.0 || (strict && needed >= 1.0) {
+            return; // even a perfect edge score cannot beat τ
+        }
+        let Some(tree) = self.trees.get(&(step.vertex as u16, buckets[step.vertex])) else {
+            return;
+        };
+        // Materialize candidates with their exact anchor-edge scores (the
+        // recursion needs `&mut self`), then visit them in descending
+        // score order — rank-join style. High scorers raise the admission
+        // threshold τ early, and because the stream is sorted, the first
+        // candidate falling below the (re-evaluated) requirement ends the
+        // whole loop instead of being skipped.
+        let mut candidates: Vec<(f64, Interval)> = Vec::new();
+        threshold_candidates(tree, &edge.predicate, &anchor_iv, anchor.anchor_side, needed.max(0.0), |c| {
+            let s = match anchor.anchor_side {
+                Side::Left => edge.predicate.score(&anchor_iv, c),
+                Side::Right => edge.predicate.score(c, &anchor_iv),
+            };
+            if s >= needed {
+                candidates.push((s, *c));
+            }
+        });
+        self.stats.candidates_visited += candidates.len() as u64;
+        candidates.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then_with(|| (a.1.start, a.1.end, a.1.id).cmp(&(b.1.start, b.1.end, b.1.id)))
+        });
+
+        for (s_anchor, cand) in candidates {
+            // Recompute the requirement against the *current* τ: it only
+            // grows, and the stream is sorted descending, so a failure
+            // here dominates every remaining candidate.
+            let strict = self.topk.is_full();
+            let needed_now = self.query.aggregation.required_edge_score(
+                &self.fixed,
+                anchor.edge,
+                self.query.edges.len(),
+                self.topk.admission_score(),
+            );
+            if s_anchor < needed_now || (strict && s_anchor <= needed_now) {
+                break;
+            }
+            self.fixed.push((anchor.edge, s_anchor));
+            self.tuple[step.vertex] = Some(cand);
+            // Cycle edges between the new vertex and bound ones.
+            let mut ok = self.filter.is_none_or(|f| f.admits(&self.tuple));
+            let mut pushed = 1;
+            for &ce in &step.checks {
+                if !ok {
+                    break;
+                }
+                let e = &self.query.edges[ce];
+                let x = self.tuple[e.src].expect("check edges have both ends bound");
+                let y = self.tuple[e.dst].expect("check edges have both ends bound");
+                let sc = e.predicate.score(&x, &y);
+                self.fixed.push((ce, sc));
+                pushed += 1;
+                let optimistic = self.optimistic_total();
+                let tau_now = self.topk.admission_score();
+                if optimistic < tau_now || (self.topk.is_full() && optimistic <= tau_now) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                self.extend(s + 1, buckets);
+            }
+            for _ in 0..pushed {
+                self.fixed.pop();
+            }
+            self.tuple[step.vertex] = None;
+        }
+    }
+
+    /// Best achievable total given the fixed edges (free edges at 1.0).
+    fn optimistic_total(&self) -> f64 {
+        let mut scores = vec![1.0; self.query.edges.len()];
+        for &(e, s) in &self.fixed {
+            scores[e] = s;
+        }
+        self.query.aggregation.eval(&scores)
+    }
+
+    /// Scores and offers a complete tuple.
+    fn finish(&mut self) {
+        let tuple: Vec<Interval> =
+            self.tuple.iter().map(|t| t.expect("complete tuple")).collect();
+        debug_assert_eq!(self.fixed.len(), self.query.edges.len());
+        let mut scores = vec![0.0; self.query.edges.len()];
+        for &(e, s) in &self.fixed {
+            scores[e] = s;
+        }
+        let total = self.query.aggregation.eval(&scores);
+        self.stats.tuples_scored += 1;
+        self.topk.offer(MatchTuple::new(tuple.iter().map(|iv| iv.id).collect(), total));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combos::vertex_buckets;
+    use crate::naive::naive_topk;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tkij_temporal::bucket::BucketMatrix;
+    use tkij_temporal::collection::{CollectionId, IntervalCollection};
+    use tkij_temporal::granule::TimePartitioning;
+    use tkij_temporal::params::PredicateParams;
+    use tkij_temporal::query::{table1, Query};
+
+    /// Builds matrices, a full (unpruned) ComboSet with trivial bounds,
+    /// and the complete data map for a single in-process "reducer".
+    fn full_setup(
+        query: &Query,
+        collections: &[IntervalCollection],
+        g: u32,
+    ) -> (ComboSet, Vec<u32>, HashMap<(u16, BucketId), Vec<Interval>>) {
+        let (min, max) = collections
+            .iter()
+            .map(|c| c.time_range())
+            .fold((i64::MAX, i64::MIN), |acc, r| (acc.0.min(r.0), acc.1.max(r.1)));
+        let part = TimePartitioning::from_range(min, max, g).unwrap();
+        let matrices: Vec<BucketMatrix> = collections
+            .iter()
+            .map(|c| BucketMatrix::build(part, c.intervals()))
+            .collect();
+        let per_vertex = vertex_buckets(query, &matrices);
+        let mut combos = ComboSet::new(query.n());
+        crate::combos::enumerate_combos(&per_vertex, 0..per_vertex[0].len(), |idx| {
+            let buckets: Vec<BucketId> =
+                idx.iter().enumerate().map(|(v, &i)| per_vertex[v].ids[i]).collect();
+            combos.push(&buckets, crate::combos::nb_res_of(&per_vertex, idx), 0.0, 1.0);
+        });
+        let indices: Vec<u32> = (0..combos.len() as u32).collect();
+        let mut data: HashMap<(u16, BucketId), Vec<Interval>> = HashMap::new();
+        for (v, cid) in query.vertices.iter().enumerate() {
+            let m = &matrices[cid.0 as usize];
+            for iv in collections[cid.0 as usize].intervals() {
+                data.entry((v as u16, m.bucket_of(iv))).or_default().push(*iv);
+            }
+        }
+        (combos, indices, data)
+    }
+
+    fn random_collections(seed: u64, m: usize, size: usize, span: i64) -> Vec<IntervalCollection> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m as u32)
+            .map(|c| {
+                let intervals = (0..size)
+                    .map(|i| {
+                        let s = rng.gen_range(0..span);
+                        let w = rng.gen_range(0..span / 4);
+                        Interval::new_unchecked(i as u64, s, s + w)
+                    })
+                    .collect();
+                IntervalCollection::new(CollectionId(c), intervals).unwrap()
+            })
+            .collect()
+    }
+
+    fn assert_matches_naive(query: &Query, collections: &[IntervalCollection], k: usize, g: u32) {
+        let (combos, indices, data) = full_setup(query, collections, g);
+        let plan = query.plan();
+        let (topk, stats) = local_topk_join(query, &plan, k, &combos, &indices, &data);
+        let refs: Vec<&IntervalCollection> =
+            query.vertices.iter().map(|c| &collections[c.0 as usize]).collect();
+        let expected = naive_topk(query, &refs, k);
+        let got = topk.into_sorted_vec();
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "{}: result count mismatch (stats {stats:?})",
+            query.name()
+        );
+        for (g, e) in got.iter().zip(&expected) {
+            // Exact score multiset; tie tuples are interchangeable (the
+            // join legitimately skips ties once the heap is full).
+            assert!(
+                (g.score - e.score).abs() < 1e-9,
+                "{}: scores diverge: {g:?} vs {e:?}",
+                query.name()
+            );
+            // Every returned tuple must be genuine: re-score it.
+            let tuple: Vec<Interval> = g
+                .ids
+                .iter()
+                .zip(&query.vertices)
+                .map(|(id, c)| {
+                    *collections[c.0 as usize]
+                        .intervals()
+                        .iter()
+                        .find(|iv| iv.id == *id)
+                        .expect("result ids exist")
+                })
+                .collect();
+            assert!(
+                (query.score_tuple(&tuple) - g.score).abs() < 1e-9,
+                "{}: reported score is wrong",
+                query.name()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_all_table1_queries() {
+        let collections = random_collections(11, 3, 14, 200);
+        let avg = collections[0].avg_length();
+        for (name, q) in table1::all(PredicateParams::P1, avg) {
+            // n = 3 queries only at this size (star queries are n = 3).
+            assert_eq!(q.n(), 3, "{name}");
+            assert_matches_naive(&q, &collections, 5, 6);
+        }
+    }
+
+    #[test]
+    fn matches_naive_with_boolean_params() {
+        let collections = random_collections(23, 3, 12, 120);
+        for (_, q) in table1::all(PredicateParams::PB, collections[0].avg_length()) {
+            assert_matches_naive(&q, &collections, 4, 5);
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_k_and_granularity() {
+        let collections = random_collections(5, 3, 10, 150);
+        let q = table1::q_om(PredicateParams::P2);
+        for k in [1, 3, 10, 500, 2000] {
+            for g in [1, 3, 9] {
+                assert_matches_naive(&q, &collections, k, g);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_4way_star() {
+        let collections = random_collections(31, 4, 8, 150);
+        let q = table1::q_o_star(4, PredicateParams::P3);
+        assert_matches_naive(&q, &collections, 6, 4);
+    }
+
+    #[test]
+    fn early_termination_skips_dominated_combos() {
+        // Two granule clusters: one yields perfect meets scores, the other
+        // scores 0. With combos holding honest bounds, the 0-UB ones must
+        // never be processed once k perfect results exist.
+        let part = TimePartitioning::from_range(0, 199, 4).unwrap();
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        for i in 0..6 {
+            c1.push(Interval::new(i, 10, 49).unwrap()); // bucket (0,0)
+            c2.push(Interval::new(i, 50, 99).unwrap()); // meets perfectly, bucket (1,1)
+            c1.push(Interval::new(100 + i, 150, 160).unwrap()); // far bucket (3,3)
+            c2.push(Interval::new(100 + i, 0, 10).unwrap()); // bucket (0,0)
+        }
+        let collections = vec![
+            IntervalCollection::new(CollectionId(0), c1).unwrap(),
+            IntervalCollection::new(CollectionId(1), c2).unwrap(),
+        ];
+        let q = Query::new(
+            vec![CollectionId(0), CollectionId(1)],
+            vec![tkij_temporal::query::QueryEdge {
+                src: 0,
+                dst: 1,
+                predicate: tkij_temporal::predicate::TemporalPredicate::meets(
+                    PredicateParams::new(4, 8, 0, 0),
+                ),
+            }],
+            tkij_temporal::aggregate::Aggregation::NormalizedSum,
+        )
+        .unwrap();
+        let matrices: Vec<BucketMatrix> = collections
+            .iter()
+            .map(|c| BucketMatrix::build(part, c.intervals()))
+            .collect();
+        // Hand-built Ω_{k,S}: the perfect-score combination first, then a
+        // dominated one (honest UB 0.4 < the perfect 1.0 the first one
+        // will realize).
+        let mut selected = ComboSet::new(2);
+        selected.push(&[BucketId::new(0, 0), BucketId::new(1, 1)], 36, 1.0, 1.0);
+        selected.push(&[BucketId::new(3, 3), BucketId::new(0, 0)], 36, 0.0, 0.4);
+        let indices: Vec<u32> = vec![0, 1];
+        let mut data: HashMap<(u16, BucketId), Vec<Interval>> = HashMap::new();
+        for (v, cid) in q.vertices.iter().enumerate() {
+            let m = &matrices[cid.0 as usize];
+            for iv in collections[cid.0 as usize].intervals() {
+                data.entry((v as u16, m.bucket_of(iv))).or_default().push(*iv);
+            }
+        }
+        let plan = q.plan();
+        let (topk, stats) = local_topk_join(&q, &plan, 3, &selected, &indices, &data);
+        assert_eq!(topk.len(), 3);
+        assert!((topk.min_score().unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(
+            stats.combos_processed, 1,
+            "the UB-0.4 combination must be skipped: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_assignment_returns_empty() {
+        let _collections = random_collections(7, 2, 5, 50);
+        let q = Query::new(
+            vec![CollectionId(0), CollectionId(1)],
+            vec![tkij_temporal::query::QueryEdge {
+                src: 0,
+                dst: 1,
+                predicate: tkij_temporal::predicate::TemporalPredicate::before(PredicateParams::P1),
+            }],
+            tkij_temporal::aggregate::Aggregation::NormalizedSum,
+        )
+        .unwrap();
+        let plan = q.plan();
+        let combos = ComboSet::new(2);
+        let (topk, stats) = local_topk_join(&q, &plan, 5, &combos, &[], &HashMap::new());
+        assert!(topk.is_empty());
+        assert_eq!(stats.combos_processed, 0);
+        assert_eq!(stats.kth_score, 0.0);
+    }
+}

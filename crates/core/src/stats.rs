@@ -1,0 +1,227 @@
+//! Statistics collection (paper §3.2, Fig. 5a) — the offline,
+//! query-independent Map-Reduce job.
+//!
+//! "Each mapper reads a fraction of the data and maintains a local matrix
+//! per collection. Matrices are then aggregated in the reduce phase, and
+//! the reducer responsible for collection `C_i` outputs a final matrix
+//! `B_i`." Updates are handled as the paper prescribes — by applying the
+//! same unit process to inserted/deleted intervals
+//! ([`PreparedDataset::insert`] / [`PreparedDataset::remove`]).
+
+use tkij_mapreduce::{run_map_reduce, ClusterConfig, JobMetrics, SizeOf};
+use tkij_temporal::bucket::BucketMatrix;
+use tkij_temporal::collection::IntervalCollection;
+use tkij_temporal::error::TemporalError;
+use tkij_temporal::granule::TimePartitioning;
+use tkij_temporal::interval::Interval;
+
+/// A dataset with collected statistics, ready for query execution.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// The collections, indexed by their `CollectionId`.
+    pub collections: Vec<IntervalCollection>,
+    /// One bucket matrix per collection.
+    pub matrices: Vec<BucketMatrix>,
+    /// Number of granules `g` the statistics were collected with.
+    pub granules: u32,
+    /// Metrics of the statistics-collection job.
+    pub stats_metrics: JobMetrics,
+}
+
+/// Shuffle message carrying a partial matrix (value side).
+struct MatrixMsg(BucketMatrix);
+
+impl SizeOf for MatrixMsg {
+    fn size_bytes(&self) -> usize {
+        // g × g counters plus the partitioning header.
+        let g = self.0.g() as usize;
+        g * g * 8 + 24
+    }
+}
+
+/// Runs the statistics-collection job over `collections` with `g`
+/// granules per collection.
+///
+/// Collection ids must be dense (`collections[i].id == CollectionId(i)`).
+pub fn collect_statistics(
+    collections: Vec<IntervalCollection>,
+    g: u32,
+    cluster: &ClusterConfig,
+) -> Result<PreparedDataset, TemporalError> {
+    if collections.is_empty() {
+        return Err(TemporalError::EmptyCollection);
+    }
+    for (i, c) in collections.iter().enumerate() {
+        if c.id.0 as usize != i {
+            return Err(TemporalError::InvalidQuery(format!(
+                "collection ids must be dense: index {i} holds {}",
+                c.id
+            )));
+        }
+    }
+    // Granule grids are fixed per collection before counting (the paper
+    // partitions each collection's time range uniformly).
+    let partitionings: Vec<TimePartitioning> = collections
+        .iter()
+        .map(|c| {
+            let (min, max) = c.time_range();
+            TimePartitioning::from_range(min, max, g)
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Flatten the input as (collection, interval) records.
+    let mut inputs: Vec<(u32, Interval)> = Vec::new();
+    for c in &collections {
+        inputs.extend(c.intervals().iter().map(|iv| (c.id.0, *iv)));
+    }
+    let m = collections.len();
+
+    let (outputs, metrics) = run_map_reduce(
+        &inputs,
+        cluster.map_slots.max(1) * 2,
+        m,
+        // Stateful per-split mapper: one local matrix per collection.
+        |_, chunk, em| {
+            let mut local: Vec<Option<BucketMatrix>> = vec![None; m];
+            for (c, iv) in chunk {
+                let c = *c as usize;
+                local[c]
+                    .get_or_insert_with(|| BucketMatrix::new(partitionings[c]))
+                    .insert(iv);
+            }
+            for (c, matrix) in local.into_iter().enumerate() {
+                if let Some(matrix) = matrix {
+                    em.emit(c as u32, MatrixMsg(matrix));
+                }
+            }
+        },
+        |c| *c as usize % m,
+        // Reducer for collection c merges the partial matrices.
+        |p, groups| {
+            let mut merged: Option<(u32, BucketMatrix)> = None;
+            for (c, msgs) in groups {
+                debug_assert_eq!(c as usize % m, p);
+                for MatrixMsg(partial) in msgs {
+                    match merged.as_mut() {
+                        Some((_, acc)) => acc.merge(&partial),
+                        None => merged = Some((c, partial)),
+                    }
+                }
+            }
+            merged.into_iter().collect::<Vec<_>>()
+        },
+        cluster,
+    );
+
+    let mut matrices: Vec<Option<BucketMatrix>> = vec![None; m];
+    for (c, matrix) in outputs {
+        matrices[c as usize] = Some(matrix);
+    }
+    let matrices: Vec<BucketMatrix> = matrices
+        .into_iter()
+        .enumerate()
+        .map(|(c, matrix)| matrix.unwrap_or_else(|| BucketMatrix::new(partitionings[c])))
+        .collect();
+
+    Ok(PreparedDataset { collections, matrices, granules: g, stats_metrics: metrics })
+}
+
+impl PreparedDataset {
+    /// Insert-style update: extends the collection and its matrix.
+    pub fn insert(&mut self, collection: usize, iv: Interval) {
+        self.matrices[collection].insert(&iv);
+        self.collections[collection].push(iv);
+    }
+
+    /// Delete-style update: removes by id, maintaining the matrix.
+    /// Returns the removed interval, or `None` if absent (or if removal
+    /// would empty the collection).
+    pub fn remove(&mut self, collection: usize, id: u64) -> Option<Interval> {
+        let iv = self.collections[collection].remove_id(id)?;
+        self.matrices[collection].remove(&iv);
+        Some(iv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkij_temporal::collection::CollectionId;
+
+    fn coll(id: u32, ivs: &[(i64, i64)]) -> IntervalCollection {
+        IntervalCollection::new(
+            CollectionId(id),
+            ivs.iter()
+                .enumerate()
+                .map(|(i, (s, e))| Interval::new(i as u64, *s, *e).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matrices_match_direct_build() {
+        let c0 = coll(0, &[(0, 10), (50, 99), (20, 30), (0, 99)]);
+        let c1 = coll(1, &[(5, 6), (90, 95)]);
+        let prepared =
+            collect_statistics(vec![c0.clone(), c1.clone()], 10, &ClusterConfig::default())
+                .unwrap();
+        for (c, coll) in [&c0, &c1].iter().enumerate() {
+            let (min, max) = coll.time_range();
+            let part = TimePartitioning::from_range(min, max, 10).unwrap();
+            let direct = BucketMatrix::build(part, coll.intervals());
+            assert_eq!(prepared.matrices[c], direct, "collection {c}");
+        }
+        assert_eq!(prepared.granules, 10);
+        assert!(prepared.stats_metrics.total_shuffle_records() >= 2);
+    }
+
+    #[test]
+    fn independent_of_map_task_count() {
+        let c0 = coll(0, &(0..200).map(|i| (i, i + 10)).collect::<Vec<_>>());
+        let few = collect_statistics(
+            vec![c0.clone()],
+            8,
+            &ClusterConfig { map_slots: 1, ..Default::default() },
+        )
+        .unwrap();
+        let many = collect_statistics(
+            vec![c0],
+            8,
+            &ClusterConfig { map_slots: 16, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(few.matrices, many.matrices);
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let bad = coll(5, &[(0, 1)]);
+        assert!(collect_statistics(vec![bad], 4, &ClusterConfig::default()).is_err());
+        assert!(collect_statistics(vec![], 4, &ClusterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn updates_keep_matrix_consistent() {
+        let c0 = coll(0, &[(0, 10), (20, 30), (55, 60)]);
+        let mut prepared =
+            collect_statistics(vec![c0], 6, &ClusterConfig::default()).unwrap();
+        let added = Interval::new(77, 21, 29).unwrap();
+        prepared.insert(0, added);
+        assert_eq!(prepared.matrices[0].total(), 4);
+        let rebuilt = BucketMatrix::build(
+            prepared.matrices[0].partitioning(),
+            prepared.collections[0].intervals(),
+        );
+        assert_eq!(prepared.matrices[0], rebuilt, "insert matches rebuild");
+
+        let removed = prepared.remove(0, 77).unwrap();
+        assert_eq!(removed, added);
+        let rebuilt = BucketMatrix::build(
+            prepared.matrices[0].partitioning(),
+            prepared.collections[0].intervals(),
+        );
+        assert_eq!(prepared.matrices[0], rebuilt, "remove matches rebuild");
+        assert!(prepared.remove(0, 999).is_none());
+    }
+}

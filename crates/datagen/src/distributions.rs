@@ -1,0 +1,178 @@
+//! Seeded sampling helpers.
+//!
+//! Only `rand`'s uniform primitives are used; the log-normal, exponential
+//! and Zipf samplers are hand-rolled (Box–Muller / inversion / CDF table)
+//! to keep the dependency set to the sanctioned crates.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A standard normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal sample with the given log-space parameters.
+pub fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// An exponential sample with the given mean (inversion method).
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// A Zipf sampler over `{0, …, n-1}` with exponent `s`, using a
+/// precomputed CDF (exact inversion; n is small in our generators).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler (`n ≥ 1`, `s ≥ 0`; `s = 0` is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// A diurnal start-time profile over one day: a uniform background plus
+/// two Gaussian activity peaks (late morning, mid afternoon). This mimics
+/// the skewed start-point distribution of the paper's firewall log
+/// (Fig. 12a: some hours carry far more connection starts than others).
+#[derive(Debug, Clone)]
+pub struct DiurnalProfile {
+    /// Day length in seconds.
+    pub day: i64,
+    /// Weight of the uniform background in `[0, 1]`.
+    pub background: f64,
+}
+
+impl DiurnalProfile {
+    /// The default profile used by the traffic simulator.
+    pub fn new(day: i64) -> Self {
+        DiurnalProfile { day, background: 0.3 }
+    }
+
+    /// Draws a start timestamp in `[0, day)`.
+    pub fn sample(&self, rng: &mut StdRng) -> i64 {
+        let day = self.day as f64;
+        let t = if rng.gen::<f64>() < self.background {
+            rng.gen_range(0.0..day)
+        } else {
+            // Two peaks at 10:00 and 15:30 (fractions of the day), σ = 1.5 h.
+            let (center, sd) = if rng.gen::<f64>() < 0.55 {
+                (day * 10.0 / 24.0, day * 1.5 / 24.0)
+            } else {
+                (day * 15.5 / 24.0, day * 1.5 / 24.0)
+            };
+            center + sd * standard_normal(rng)
+        };
+        (t.rem_euclid(day)) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = rng(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_theory() {
+        let (mu, sigma) = (2.0, 0.5);
+        let mut r = rng(11);
+        let n = 50_000;
+        let mean = (0..n).map(|_| lognormal(&mut r, mu, sigma)).sum::<f64>() / n as f64;
+        let theory = (mu + sigma * sigma / 2.0).exp();
+        assert!((mean / theory - 1.0).abs() < 0.05, "mean {mean} vs {theory}");
+    }
+
+    #[test]
+    fn exponential_is_positive_with_right_mean() {
+        let mut r = rng(3);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| exponential(&mut r, 5.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut r = rng(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[4] && counts[4] > counts[9], "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_ish() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = rng(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn diurnal_stays_in_day_and_peaks() {
+        let day = 86_400;
+        let p = DiurnalProfile::new(day);
+        let mut r = rng(13);
+        let mut hours = [0usize; 24];
+        for _ in 0..50_000 {
+            let t = p.sample(&mut r);
+            assert!((0..day).contains(&t));
+            hours[(t * 24 / day) as usize] += 1;
+        }
+        // The 10:00 peak hour should dominate the 3:00 trough clearly.
+        assert!(hours[10] > hours[3] * 3, "{hours:?}");
+    }
+}

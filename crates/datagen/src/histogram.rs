@@ -1,0 +1,81 @@
+//! Percentage histograms, the presentation used by the paper's Fig. 12
+//! ("Network Traffic Data Distribution": x-axis as % of the maximum
+//! value, y-axis as % of tuples, log scale for lengths).
+
+/// One histogram row: bin upper edge as a percentage of the maximum
+/// value, and the percentage of tuples falling in the bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentBin {
+    /// Upper edge of the bin, in percent of the maximum observed value.
+    pub upper_pct: f64,
+    /// Share of tuples in the bin, in percent.
+    pub tuples_pct: f64,
+}
+
+/// Builds a percent-of-max histogram with `bins` equal-width bins.
+///
+/// Empty inputs produce an empty histogram; a constant input puts 100 %
+/// of tuples in the last bin.
+pub fn percent_histogram(values: &[i64], bins: usize) -> Vec<PercentBin> {
+    assert!(bins >= 1);
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let max = values.iter().copied().max().expect("non-empty") as f64;
+    let mut counts = vec![0u64; bins];
+    for &v in values {
+        let frac = if max > 0.0 { v as f64 / max } else { 1.0 };
+        let idx = ((frac * bins as f64) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let total = values.len() as f64;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| PercentBin {
+            upper_pct: (i + 1) as f64 * 100.0 / bins as f64,
+            tuples_pct: c as f64 * 100.0 / total,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_empty_histogram() {
+        assert!(percent_histogram(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn bins_partition_percentages() {
+        let values: Vec<i64> = (1..=100).collect();
+        let h = percent_histogram(&values, 10);
+        assert_eq!(h.len(), 10);
+        let total: f64 = h.iter().map(|b| b.tuples_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        // Uniform 1..=100 into 10 bins: ≈ 10 % per bin (edge effects put
+        // the max value into the last bin).
+        for b in &h {
+            assert!((b.tuples_pct - 10.0).abs() <= 1.0 + 1e-9, "{h:?}");
+        }
+        assert!((h[9].upper_pct - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_input_concentrates_low_bins() {
+        // 99 short values and one huge: everything but one lands in bin 0.
+        let mut values = vec![1i64; 99];
+        values.push(10_000);
+        let h = percent_histogram(&values, 10);
+        assert!((h[0].tuples_pct - 99.0).abs() < 1e-9);
+        assert!((h[9].tuples_pct - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_input_lands_in_last_bin() {
+        let h = percent_histogram(&[5, 5, 5], 4);
+        assert!((h[3].tuples_pct - 100.0).abs() < 1e-9);
+    }
+}

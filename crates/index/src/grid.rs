@@ -1,0 +1,149 @@
+//! A uniform grid over the endpoint plane — the simple alternative access
+//! path used as an ablation against the R-tree (and as a correctness
+//! oracle in tests).
+
+use crate::rtree::Window;
+use tkij_temporal::interval::Interval;
+
+/// A fixed-resolution grid index over interval endpoint points.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: i64,
+    origin: (i64, i64),
+    cols: usize,
+    rows: usize,
+    /// Per-cell interval lists, row-major.
+    cells: Vec<Vec<Interval>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Builds a grid with the given cell width (≥ 1).
+    pub fn build(items: Vec<Interval>, cell: i64) -> Self {
+        let cell = cell.max(1);
+        if items.is_empty() {
+            return GridIndex { cell, origin: (0, 0), cols: 1, rows: 1, cells: vec![Vec::new()], len: 0 };
+        }
+        let min_s = items.iter().map(|i| i.start).min().expect("non-empty");
+        let max_s = items.iter().map(|i| i.start).max().expect("non-empty");
+        let min_e = items.iter().map(|i| i.end).min().expect("non-empty");
+        let max_e = items.iter().map(|i| i.end).max().expect("non-empty");
+        let cols = ((max_s - min_s) / cell + 1) as usize;
+        let rows = ((max_e - min_e) / cell + 1) as usize;
+        let mut cells = vec![Vec::new(); cols * rows];
+        let len = items.len();
+        for iv in items {
+            let c = ((iv.start - min_s) / cell) as usize;
+            let r = ((iv.end - min_e) / cell) as usize;
+            cells[r * cols + c].push(iv);
+        }
+        // Deterministic within-cell order.
+        for v in &mut cells {
+            v.sort_unstable_by_key(|i| (i.start, i.end, i.id));
+        }
+        GridIndex { cell, origin: (min_s, min_e), cols, rows, cells, len }
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Visits every interval in the window.
+    pub fn window_query<'t>(&'t self, w: &Window, mut visit: impl FnMut(&'t Interval)) {
+        if w.is_empty() || self.len == 0 {
+            return;
+        }
+        let clamp_col = |x: f64| -> usize {
+            let rel = (x - self.origin.0 as f64) / self.cell as f64;
+            rel.floor().clamp(0.0, (self.cols - 1) as f64) as usize
+        };
+        let clamp_row = |y: f64| -> usize {
+            let rel = (y - self.origin.1 as f64) / self.cell as f64;
+            rel.floor().clamp(0.0, (self.rows - 1) as f64) as usize
+        };
+        let c0 = clamp_col(w.start.0);
+        let c1 = clamp_col(w.start.1);
+        let r0 = clamp_row(w.end.0);
+        let r1 = clamp_row(w.end.1);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for iv in &self.cells[r * self.cols + c] {
+                    if w.contains(iv) {
+                        visit(iv);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects matching intervals.
+    pub fn window_collect(&self, w: &Window) -> Vec<Interval> {
+        let mut out = Vec::new();
+        self.window_query(w, |iv| out.push(*iv));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(id: u64, s: i64, e: i64) -> Interval {
+        Interval::new(id, s, e).unwrap()
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = GridIndex::build(vec![], 16);
+        assert!(g.is_empty());
+        assert_eq!(g.window_collect(&Window::all()), vec![]);
+    }
+
+    #[test]
+    fn finds_expected_cells() {
+        let g = GridIndex::build(vec![iv(0, 0, 10), iv(1, 50, 60), iv(2, 100, 200)], 32);
+        let w = Window { start: (40.0, 110.0), end: (0.0, 70.0) };
+        let got = g.window_collect(&w);
+        assert_eq!(got.iter().map(|i| i.id).collect::<Vec<_>>(), vec![1]);
+    }
+
+    proptest! {
+        /// Grid queries agree with a linear scan for arbitrary windows,
+        /// including unbounded ones.
+        #[test]
+        fn matches_linear_scan(
+            points in proptest::collection::vec((-100i64..100, 0i64..50), 0..150),
+            cell in 1i64..64,
+            ws in -120i64..120, ww in 0i64..120,
+            unbounded in proptest::bool::ANY,
+        ) {
+            let items: Vec<Interval> = points
+                .iter()
+                .enumerate()
+                .map(|(i, (s, w))| iv(i as u64, *s, s + w))
+                .collect();
+            let g = GridIndex::build(items.clone(), cell);
+            let w = Window {
+                start: (ws as f64, (ws + ww) as f64),
+                end: if unbounded {
+                    (f64::NEG_INFINITY, f64::INFINITY)
+                } else {
+                    (ws as f64 - 10.0, (ws + ww) as f64 + 30.0)
+                },
+            };
+            let mut got = g.window_collect(&w);
+            got.sort_by_key(|i| i.id);
+            let mut want: Vec<Interval> =
+                items.iter().filter(|i| w.contains(i)).copied().collect();
+            want.sort_by_key(|i| i.id);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Cluster shape: slots used for simulated scheduling and thread pool
+//! sizing.
+
+/// Describes the simulated cluster a job runs on.
+///
+/// The defaults mirror the paper's platform (§4): 6 workers and 24
+/// reducers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Concurrent map slots (the paper's 6 workers).
+    pub map_slots: usize,
+    /// Reducer slots; the join phase runs one reduce task per partition
+    /// and its wave makespan is computed over these slots.
+    pub reduce_slots: usize,
+    /// OS threads actually used to execute tasks; `0` runs tasks
+    /// sequentially (deterministic timings on small hosts). Outputs are
+    /// identical either way.
+    pub worker_threads: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { map_slots: 6, reduce_slots: 24, worker_threads: 0 }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with the given number of reducers, keeping paper defaults
+    /// elsewhere.
+    pub fn with_reducers(reducers: usize) -> Self {
+        ClusterConfig { reduce_slots: reducers, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_platform() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.map_slots, 6);
+        assert_eq!(c.reduce_slots, 24);
+        assert_eq!(c.worker_threads, 0);
+    }
+
+    #[test]
+    fn with_reducers_overrides_only_reducers() {
+        let c = ClusterConfig::with_reducers(20);
+        assert_eq!(c.reduce_slots, 20);
+        assert_eq!(c.map_slots, 6);
+    }
+}

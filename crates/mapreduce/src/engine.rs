@@ -1,0 +1,393 @@
+//! The Map-Reduce execution engine.
+//!
+//! One job = per-split mappers emitting `(K, V)` records through a
+//! map-side [`Emitter`] (which partitions immediately, like Hadoop's
+//! map-side partitioner), a shuffle stage that gathers, counts, sorts and
+//! groups each partition, and one reduce task per partition. Outputs are
+//! concatenated in partition order, making the job deterministic for any
+//! thread count.
+
+use crate::cluster::ClusterConfig;
+use crate::metrics::JobMetrics;
+use crate::sizeof::SizeOf;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Map-side collector: routes each emitted record to its partition.
+pub struct Emitter<'p, K, V> {
+    partitioner: &'p (dyn Fn(&K) -> usize + Sync),
+    buffers: Vec<Vec<(K, V)>>,
+}
+
+impl<'p, K, V> Emitter<'p, K, V> {
+    fn new(num_partitions: usize, partitioner: &'p (dyn Fn(&K) -> usize + Sync)) -> Self {
+        Emitter { partitioner, buffers: (0..num_partitions).map(|_| Vec::new()).collect() }
+    }
+
+    /// Emits one record; the partitioner must return an index `<`
+    /// the configured number of partitions.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        let p = (self.partitioner)(&key);
+        debug_assert!(p < self.buffers.len(), "partitioner out of range: {p}");
+        self.buffers[p].push((key, value));
+    }
+
+    /// Records emitted so far (all partitions).
+    pub fn emitted(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+}
+
+/// Runs `n` independent tasks on `threads` worker threads (sequentially
+/// when `threads ≤ 1`), returning results in task order.
+fn run_tasks<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every task ran"))
+        .collect()
+}
+
+/// Executes one Map-Reduce job.
+///
+/// * `inputs` are split into `num_map_tasks` contiguous chunks; `mapper`
+///   is called once per chunk (stateful per-split mapping, which is what
+///   TKIJ's statistics job needs to build local matrices).
+/// * `partitioner` routes keys to `num_partitions` reduce partitions.
+/// * `reducer` receives its partition's records grouped by key, keys
+///   sorted ascending, and every partition is reduced (possibly empty),
+///   mirroring Hadoop semantics.
+///
+/// Returns the concatenated reducer outputs (partition order) and the
+/// job's [`JobMetrics`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_map_reduce<I, K, V, R, M, P, F>(
+    inputs: &[I],
+    num_map_tasks: usize,
+    num_partitions: usize,
+    mapper: M,
+    partitioner: P,
+    reducer: F,
+    cfg: &ClusterConfig,
+) -> (Vec<R>, JobMetrics)
+where
+    I: Sync,
+    K: Ord + Send + SizeOf,
+    V: Send + SizeOf,
+    R: Send,
+    M: Fn(usize, &[I], &mut Emitter<'_, K, V>) + Sync,
+    P: Fn(&K) -> usize + Sync,
+    F: Fn(usize, Vec<(K, Vec<V>)>) -> Vec<R> + Sync,
+{
+    let job_start = Instant::now();
+    let num_map_tasks = num_map_tasks.clamp(1, inputs.len().max(1));
+    let chunk = inputs.len().div_ceil(num_map_tasks).max(1);
+
+    // ---- Map wave -------------------------------------------------------
+    let map_results: Vec<(Duration, Vec<Vec<(K, V)>>)> =
+        run_tasks(num_map_tasks, cfg.worker_threads, |t| {
+            let lo = (t * chunk).min(inputs.len());
+            let hi = ((t + 1) * chunk).min(inputs.len());
+            let mut em = Emitter::new(num_partitions, &partitioner);
+            let started = Instant::now();
+            mapper(t, &inputs[lo..hi], &mut em);
+            (started.elapsed(), em.buffers)
+        });
+
+    let mut map_durations = Vec::with_capacity(num_map_tasks);
+    let mut map_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(num_map_tasks);
+    for (d, bufs) in map_results {
+        map_durations.push(d);
+        map_outputs.push(bufs);
+    }
+
+    // ---- Shuffle: gather, account, sort, group --------------------------
+    let mut shuffle_records = vec![0u64; num_partitions];
+    let mut shuffle_bytes = vec![0u64; num_partitions];
+    let mut partitions: Vec<Vec<(K, V)>> = (0..num_partitions).map(|_| Vec::new()).collect();
+    for bufs in map_outputs {
+        for (p, buf) in bufs.into_iter().enumerate() {
+            for (k, v) in buf {
+                shuffle_records[p] += 1;
+                shuffle_bytes[p] += (k.size_bytes() + v.size_bytes()) as u64;
+                partitions[p].push((k, v));
+            }
+        }
+    }
+    let grouped: Vec<Vec<(K, Vec<V>)>> = partitions
+        .into_iter()
+        .map(|mut records| {
+            // Stable sort keeps map-task emission order within equal keys,
+            // which is itself deterministic (task-index order).
+            records.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut groups: Vec<(K, Vec<V>)> = Vec::new();
+            for (k, v) in records {
+                match groups.last_mut() {
+                    Some((gk, vs)) if *gk == k => vs.push(v),
+                    _ => groups.push((k, vec![v])),
+                }
+            }
+            groups
+        })
+        .collect();
+
+    // ---- Reduce wave ----------------------------------------------------
+    let grouped_slots: Vec<Mutex<Option<Vec<(K, Vec<V>)>>>> =
+        grouped.into_iter().map(|g| Mutex::new(Some(g))).collect();
+    let reduce_results: Vec<(Duration, Vec<R>)> =
+        run_tasks(num_partitions, cfg.worker_threads, |p| {
+            let groups = grouped_slots[p].lock().take().expect("partition reduced once");
+            let started = Instant::now();
+            let out = reducer(p, groups);
+            (started.elapsed(), out)
+        });
+
+    let mut reduce_durations = Vec::with_capacity(num_partitions);
+    let mut outputs = Vec::new();
+    for (d, out) in reduce_results {
+        reduce_durations.push(d);
+        outputs.extend(out);
+    }
+
+    let metrics = JobMetrics {
+        map_durations,
+        reduce_durations,
+        shuffle_records,
+        shuffle_bytes,
+        wall: job_start.elapsed(),
+    };
+    (outputs, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word-count over small documents, the canonical smoke test.
+    fn word_count(threads: usize) -> (Vec<(String, u64)>, JobMetrics) {
+        let docs = vec![
+            "a b a".to_string(),
+            "b c".to_string(),
+            "a c c".to_string(),
+            "d".to_string(),
+        ];
+        let cfg = ClusterConfig { worker_threads: threads, ..Default::default() };
+        run_map_reduce(
+            &docs,
+            2,
+            3,
+            |_, chunk, em| {
+                for doc in chunk {
+                    for w in doc.split_whitespace() {
+                        em.emit(w.to_string(), 1u64);
+                    }
+                }
+            },
+            |k| (k.as_bytes()[0] as usize) % 3,
+            |_, groups| {
+                groups
+                    .into_iter()
+                    .map(|(k, vs)| (k, vs.iter().sum::<u64>()))
+                    .collect()
+            },
+            &cfg,
+        )
+    }
+
+    #[test]
+    fn word_count_is_correct() {
+        let (mut out, metrics) = word_count(0);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".into(), 3),
+                ("b".into(), 2),
+                ("c".into(), 3),
+                ("d".into(), 1)
+            ]
+        );
+        assert_eq!(metrics.total_shuffle_records(), 9, "one record per word");
+        assert_eq!(metrics.map_durations.len(), 2);
+        assert_eq!(metrics.reduce_durations.len(), 3);
+    }
+
+    #[test]
+    fn outputs_independent_of_thread_count() {
+        let (seq, _) = word_count(0);
+        let (par, _) = word_count(4);
+        assert_eq!(seq, par, "parallel execution must not reorder output");
+    }
+
+    #[test]
+    fn reducer_keys_arrive_sorted_and_grouped() {
+        let data: Vec<u64> = vec![5, 3, 5, 1, 3, 5];
+        let (out, _) = run_map_reduce(
+            &data,
+            3,
+            1,
+            |_, chunk, em| {
+                for &x in chunk {
+                    em.emit(x, x * 10);
+                }
+            },
+            |_| 0,
+            |_, groups| {
+                // Assert sortedness inside the reducer itself.
+                let keys: Vec<u64> = groups.iter().map(|(k, _)| *k).collect();
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                assert_eq!(keys, sorted);
+                groups.into_iter().map(|(k, vs)| (k, vs.len())).collect::<Vec<_>>()
+            },
+            &ClusterConfig::default(),
+        );
+        assert_eq!(out, vec![(1, 1), (3, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn empty_partitions_still_reduce() {
+        let data = vec![1u64];
+        let calls = AtomicUsize::new(0);
+        let (_, metrics) = run_map_reduce(
+            &data,
+            1,
+            4,
+            |_, chunk, em| {
+                for &x in chunk {
+                    em.emit(x, ());
+                }
+            },
+            |_| 0,
+            |_, _groups| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Vec::<()>::new()
+            },
+            &ClusterConfig::default(),
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.shuffle_records, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shuffle_bytes_use_sizeof() {
+        let data = vec![7u64, 8u64];
+        let (_, metrics) = run_map_reduce(
+            &data,
+            1,
+            2,
+            |_, chunk, em| {
+                for &x in chunk {
+                    em.emit(x, x as u32);
+                }
+            },
+            |k| (*k % 2) as usize,
+            |_, groups| groups,
+            &ClusterConfig::default(),
+        );
+        // Each record: u64 key (8) + u32 value (4) = 12 bytes.
+        assert_eq!(metrics.shuffle_bytes, vec![12, 12]);
+        assert_eq!(metrics.total_shuffle_bytes(), 24);
+    }
+
+    #[test]
+    fn more_map_tasks_than_inputs_is_fine() {
+        let data = vec![1u64, 2];
+        let (out, metrics) = run_map_reduce(
+            &data,
+            10,
+            1,
+            |_, chunk, em| {
+                for &x in chunk {
+                    em.emit(0u64, x);
+                }
+            },
+            |_| 0,
+            |_, groups| groups.into_iter().flat_map(|(_, vs)| vs).collect::<Vec<u64>>(),
+            &ClusterConfig::default(),
+        );
+        assert_eq!(out, vec![1, 2]);
+        assert!(metrics.map_durations.len() <= 2);
+    }
+
+    /// Randomized end-to-end: grouped sums computed by the engine equal a
+    /// direct hash-map aggregation, for arbitrary data, split counts,
+    /// partition counts and thread counts.
+    #[test]
+    fn randomized_aggregation_equivalence() {
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..30 {
+            let n = (next() % 200) as usize;
+            let data: Vec<(u64, u64)> =
+                (0..n).map(|_| (next() % 17, next() % 1000)).collect();
+            let splits = (next() % 8 + 1) as usize;
+            let parts = (next() % 5 + 1) as usize;
+            let threads = (next() % 4) as usize;
+            let cfg = ClusterConfig { worker_threads: threads, ..Default::default() };
+            let (mut got, metrics) = run_map_reduce(
+                &data,
+                splits,
+                parts,
+                |_, chunk, em| {
+                    for &(k, v) in chunk {
+                        em.emit(k, v);
+                    }
+                },
+                |k| (*k as usize) % parts,
+                |_, groups| {
+                    groups
+                        .into_iter()
+                        .map(|(k, vs)| (k, vs.iter().sum::<u64>()))
+                        .collect::<Vec<_>>()
+                },
+                &cfg,
+            );
+            got.sort_unstable();
+            let mut want: std::collections::BTreeMap<u64, u64> = Default::default();
+            for &(k, v) in &data {
+                *want.entry(k).or_default() += v;
+            }
+            let want: Vec<(u64, u64)> = want.into_iter().collect();
+            assert_eq!(got, want);
+            assert_eq!(metrics.total_shuffle_records() as usize, data.len());
+            assert_eq!(metrics.shuffle_records.len(), parts);
+        }
+    }
+
+    #[test]
+    fn emitter_counts_emissions() {
+        let part = |_: &u64| 0usize;
+        let mut em: Emitter<'_, u64, u64> = Emitter::new(1, &part);
+        em.emit(1, 1);
+        em.emit(2, 2);
+        assert_eq!(em.emitted(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tkij-mapreduce — an in-process Map-Reduce engine
+//!
+//! TKIJ (paper §3) is specified as a sequence of Map-Reduce jobs on a
+//! Hadoop cluster. This crate substitutes a small, deterministic,
+//! in-process engine that preserves everything the paper's analysis
+//! depends on:
+//!
+//! * the **dataflow**: per-split stateful mappers → map-side partitioning
+//!   → a real shuffle stage → per-partition grouped reducers;
+//! * the **cost counters** the paper reasons about: shuffle records and
+//!   bytes per reducer (replication/input cost), per-task durations, the
+//!   simulated makespan on a fixed number of reducer slots, and the
+//!   max/avg reducer imbalance plotted in Fig. 10b;
+//! * **determinism**: outputs are independent of the number of worker
+//!   threads (partitions are sorted and grouped before reduction), so
+//!   distributed execution order can never change query answers.
+//!
+//! Tasks can execute on a pool of OS threads
+//! ([`ClusterConfig::worker_threads`]) or sequentially (`0`), which is the
+//! default used by the benchmark harnesses: on a single-core host,
+//! sequential execution gives unpolluted per-task timings, and wave
+//! makespans are *computed* by list-scheduling the measured durations onto
+//! the configured slots — see [`JobMetrics`].
+
+pub mod cluster;
+pub mod engine;
+pub mod metrics;
+pub mod sizeof;
+
+pub use cluster::ClusterConfig;
+pub use engine::{run_map_reduce, Emitter};
+pub use metrics::{list_schedule_makespan, JobMetrics};
+pub use sizeof::SizeOf;

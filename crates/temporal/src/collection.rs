@@ -1,0 +1,245 @@
+//! Interval collections: the relations `C_1 … C_m` of an RTJ query.
+
+use crate::error::TemporalError;
+use crate::interval::{Interval, Timestamp};
+use std::io::{BufRead, Write};
+
+/// Identifier of a collection within a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CollectionId(pub u32);
+
+impl std::fmt::Display for CollectionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0 + 1)
+    }
+}
+
+/// A named collection of intervals.
+///
+/// Collections are immutable once built (TKIJ's statistics are collected
+/// per dataset; updates go through the bucket-matrix delta API).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalCollection {
+    /// Collection identifier.
+    pub id: CollectionId,
+    intervals: Vec<Interval>,
+}
+
+/// Summary statistics of a collection (min/max/avg length, time range) —
+/// the numbers §4.3.1 reports for the traffic dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// Number of intervals.
+    pub len: usize,
+    /// Earliest start.
+    pub min_start: Timestamp,
+    /// Latest end.
+    pub max_end: Timestamp,
+    /// Shortest length.
+    pub min_length: i64,
+    /// Longest length.
+    pub max_length: i64,
+    /// Average length, rounded to the nearest integer — this is the `avg`
+    /// constant of the `justBefore`/`shiftMeets` predicates.
+    pub avg_length: i64,
+}
+
+impl IntervalCollection {
+    /// Builds a collection from intervals (must be non-empty).
+    pub fn new(id: CollectionId, intervals: Vec<Interval>) -> Result<Self, TemporalError> {
+        if intervals.is_empty() {
+            return Err(TemporalError::EmptyCollection);
+        }
+        Ok(IntervalCollection { id, intervals })
+    }
+
+    /// The intervals, in insertion order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Number of intervals `|C_i|`.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the collection is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// `(min start, max end)` over the collection.
+    pub fn time_range(&self) -> (Timestamp, Timestamp) {
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for iv in &self.intervals {
+            min = min.min(iv.start);
+            max = max.max(iv.end);
+        }
+        (min, max)
+    }
+
+    /// Average interval length `AVG_z(z̄ − z̲)`, rounded to nearest.
+    pub fn avg_length(&self) -> i64 {
+        let sum: i128 = self.intervals.iter().map(|iv| iv.length() as i128).sum();
+        let n = self.intervals.len() as i128;
+        ((sum + n / 2) / n) as i64
+    }
+
+    /// Full summary statistics in one pass.
+    pub fn stats(&self) -> CollectionStats {
+        let mut s = CollectionStats {
+            len: self.intervals.len(),
+            min_start: i64::MAX,
+            max_end: i64::MIN,
+            min_length: i64::MAX,
+            max_length: i64::MIN,
+            avg_length: 0,
+        };
+        let mut sum: i128 = 0;
+        for iv in &self.intervals {
+            s.min_start = s.min_start.min(iv.start);
+            s.max_end = s.max_end.max(iv.end);
+            let l = iv.length();
+            s.min_length = s.min_length.min(l);
+            s.max_length = s.max_length.max(l);
+            sum += l as i128;
+        }
+        let n = self.intervals.len() as i128;
+        s.avg_length = ((sum + n / 2) / n) as i64;
+        s
+    }
+
+    /// Reads the plain-text format (one `id,start,end` line per interval;
+    /// `#`-prefixed lines and blank lines are skipped).
+    pub fn read_text<R: BufRead>(id: CollectionId, reader: R) -> Result<Self, TemporalError> {
+        let mut intervals = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| TemporalError::Parse {
+                line: i + 1,
+                message: e.to_string(),
+            })?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            intervals.push(Interval::parse_line(trimmed, i + 1)?);
+        }
+        Self::new(id, intervals)
+    }
+
+    /// Writes the plain-text format.
+    pub fn write_text<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for iv in &self.intervals {
+            writeln!(writer, "{iv}")?;
+        }
+        Ok(())
+    }
+
+    /// A copy of this collection under a different id — the paper's §4.3.1
+    /// methodology ("we copy each list of connections 3 times and process
+    /// 3-way queries").
+    pub fn copy_as(&self, id: CollectionId) -> Self {
+        IntervalCollection { id, intervals: self.intervals.clone() }
+    }
+
+    /// Appends an interval (insert-style update; paper §3.2 notes updates
+    /// are handled by re-running the statistics process on the delta —
+    /// [`crate::BucketMatrix::insert`] is that process's unit step).
+    pub fn push(&mut self, iv: Interval) {
+        self.intervals.push(iv);
+    }
+
+    /// Removes the first interval with the given id (delete-style update);
+    /// returns it if present. Fails (returns `None`) rather than leaving
+    /// the collection empty.
+    pub fn remove_id(&mut self, id: u64) -> Option<Interval> {
+        if self.intervals.len() == 1 {
+            return None;
+        }
+        let pos = self.intervals.iter().position(|iv| iv.id == id)?;
+        Some(self.intervals.remove(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(id: u64, s: i64, e: i64) -> Interval {
+        Interval::new(id, s, e).unwrap()
+    }
+
+    fn sample() -> IntervalCollection {
+        IntervalCollection::new(
+            CollectionId(0),
+            vec![iv(0, 10, 20), iv(1, 5, 6), iv(2, 30, 70)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            IntervalCollection::new(CollectionId(0), vec![]),
+            Err(TemporalError::EmptyCollection)
+        );
+    }
+
+    #[test]
+    fn ranges_and_lengths() {
+        let c = sample();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.time_range(), (5, 70));
+        // Lengths 10, 1, 40 → avg 17.
+        assert_eq!(c.avg_length(), 17);
+        let s = c.stats();
+        assert_eq!((s.min_length, s.max_length, s.avg_length), (1, 40, 17));
+        assert_eq!((s.min_start, s.max_end, s.len), (5, 70, 3));
+    }
+
+    #[test]
+    fn avg_length_rounds_to_nearest() {
+        let c = IntervalCollection::new(
+            CollectionId(0),
+            vec![iv(0, 0, 1), iv(1, 0, 2)], // lengths 1, 2 → 1.5 → 2
+        )
+        .unwrap();
+        assert_eq!(c.avg_length(), 2);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_text(&mut buf).unwrap();
+        let back = IntervalCollection::read_text(CollectionId(0), buf.as_slice()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_blanks() {
+        let text = "# header\n\n1,10,20\n  \n2,30,40\n";
+        let c = IntervalCollection::read_text(CollectionId(1), text.as_bytes()).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.intervals()[1], iv(2, 30, 40));
+    }
+
+    #[test]
+    fn text_reader_reports_bad_line() {
+        let text = "1,10,20\nbogus\n";
+        match IntervalCollection::read_text(CollectionId(0), text.as_bytes()) {
+            Err(TemporalError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copies_share_intervals_under_new_id() {
+        let c = sample();
+        let d = c.copy_as(CollectionId(2));
+        assert_eq!(d.id, CollectionId(2));
+        assert_eq!(d.intervals(), c.intervals());
+        assert_eq!(d.id.to_string(), "C3");
+    }
+}

@@ -1,0 +1,405 @@
+//! Affine expressions over the endpoints of an interval pair.
+//!
+//! A temporal predicate compares *expressions* of the four endpoints of a
+//! pair `(x, y)`. For the Allen predicates (paper Fig. 2) the expressions
+//! are single endpoints, but the generalized predicates of Fig. 4 compare
+//! derived quantities: `shiftMeets` compares `x̄ + avg` with `y̲`, and
+//! `sparks` compares the lengths `ȳ − y̲` and `10·(x̄ − x̲)`. All of those
+//! are affine combinations of endpoints, which is exactly what
+//! [`EndpointExpr`] captures. Affinity is what makes interval-arithmetic
+//! enclosures (and therefore the bound solver) exact per expression.
+
+use crate::interval::{Interval, Timestamp};
+use std::fmt;
+
+/// Which interval of the pair an endpoint belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The first interval of the predicate (the paper's `x`).
+    Left,
+    /// The second interval of the predicate (the paper's `y`).
+    Right,
+}
+
+/// Which endpoint of an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The start timestamp (the paper's underlined `x`).
+    Start,
+    /// The end timestamp (the paper's overlined `x`).
+    End,
+}
+
+/// One linear term `coeff · endpoint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// Integer coefficient (e.g. `10` in `10·(x̄ − x̲)` of `sparks`).
+    pub coeff: i64,
+    /// Which interval the endpoint comes from.
+    pub side: Side,
+    /// Which endpoint.
+    pub endpoint: Endpoint,
+}
+
+/// An affine expression `Σ coeffᵢ·endpointᵢ + constant` over the endpoints
+/// of an interval pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EndpointExpr {
+    /// Linear terms; kept short (at most 2 in all built-in predicates).
+    pub terms: Vec<Term>,
+    /// Additive constant (e.g. the average length in `shiftMeets`).
+    pub constant: i64,
+}
+
+impl EndpointExpr {
+    /// The single endpoint `side.endpoint`.
+    pub fn endpoint(side: Side, endpoint: Endpoint) -> Self {
+        EndpointExpr { terms: vec![Term { coeff: 1, side, endpoint }], constant: 0 }
+    }
+
+    /// Start of the given side: `x̲` or `y̲`.
+    pub fn start(side: Side) -> Self {
+        Self::endpoint(side, Endpoint::Start)
+    }
+
+    /// End of the given side: `x̄` or `ȳ`.
+    pub fn end(side: Side) -> Self {
+        Self::endpoint(side, Endpoint::End)
+    }
+
+    /// Interval length `end − start` of the given side.
+    pub fn length(side: Side) -> Self {
+        EndpointExpr {
+            terms: vec![
+                Term { coeff: 1, side, endpoint: Endpoint::End },
+                Term { coeff: -1, side, endpoint: Endpoint::Start },
+            ],
+            constant: 0,
+        }
+    }
+
+    /// Adds a constant offset (e.g. `x̄ + avg` in `shiftMeets`).
+    pub fn plus(mut self, c: i64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    /// The same expression with the two sides exchanged: every `x`
+    /// endpoint becomes the corresponding `y` endpoint and vice versa.
+    /// Used to derive inverse Allen relations (`p⁻¹(x, y) = p(y, x)`).
+    pub fn swap_sides(mut self) -> Self {
+        for t in &mut self.terms {
+            t.side = match t.side {
+                Side::Left => Side::Right,
+                Side::Right => Side::Left,
+            };
+        }
+        self
+    }
+
+    /// The affine difference `self − other`, with like terms merged and
+    /// zero-coefficient terms dropped.
+    ///
+    /// A comparator applied to `(lhs, rhs)` only ever depends on this
+    /// difference, so the solver and the index layer reason about the
+    /// combined expression.
+    pub fn minus(&self, other: &EndpointExpr) -> EndpointExpr {
+        let mut terms: Vec<Term> = self.terms.clone();
+        for t in &other.terms {
+            terms.push(Term { coeff: -t.coeff, ..*t });
+        }
+        // Merge like terms (tiny vectors; quadratic is fine and allocation-free).
+        let mut merged: Vec<Term> = Vec::with_capacity(terms.len());
+        for t in terms {
+            if let Some(m) = merged
+                .iter_mut()
+                .find(|m| m.side == t.side && m.endpoint == t.endpoint)
+            {
+                m.coeff += t.coeff;
+            } else {
+                merged.push(t);
+            }
+        }
+        merged.retain(|t| t.coeff != 0);
+        EndpointExpr { terms: merged, constant: self.constant - other.constant }
+    }
+
+    /// Multiplies every coefficient and the constant by `k`
+    /// (e.g. `10·(x̄ − x̲)` in `sparks`).
+    pub fn scaled(mut self, k: i64) -> Self {
+        for t in &mut self.terms {
+            t.coeff *= k;
+        }
+        self.constant *= k;
+        self
+    }
+
+    /// Evaluates the expression on a concrete pair.
+    #[inline]
+    pub fn eval(&self, x: &Interval, y: &Interval) -> i64 {
+        let mut acc = self.constant;
+        for t in &self.terms {
+            let iv = match t.side {
+                Side::Left => x,
+                Side::Right => y,
+            };
+            let v = match t.endpoint {
+                Endpoint::Start => iv.start,
+                Endpoint::End => iv.end,
+            };
+            acc += t.coeff * v;
+        }
+        acc
+    }
+
+    /// Range of the expression when each endpoint independently ranges over
+    /// the given boxes (`[start_lo, start_hi]`, `[end_lo, end_hi]` per
+    /// side). Exact because the expression is affine.
+    pub fn range(
+        &self,
+        left: &EndpointBox,
+        right: &EndpointBox,
+    ) -> (i64, i64) {
+        let mut lo = self.constant;
+        let mut hi = self.constant;
+        for t in &self.terms {
+            let b = match t.side {
+                Side::Left => left,
+                Side::Right => right,
+            };
+            let (vlo, vhi) = match t.endpoint {
+                Endpoint::Start => b.start,
+                Endpoint::End => b.end,
+            };
+            if t.coeff >= 0 {
+                lo += t.coeff * vlo;
+                hi += t.coeff * vhi;
+            } else {
+                lo += t.coeff * vhi;
+                hi += t.coeff * vlo;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Splits the expression into the contribution of one side and the
+    /// rest, if the expression touches the `free` side through exactly one
+    /// endpoint with coefficient ±1.
+    ///
+    /// Used by the index layer: when `x` is bound, a constraint on
+    /// `expr(x, y)` that touches a single `y`-endpoint linearly translates
+    /// into an axis-aligned range on that endpoint.
+    pub fn single_free_endpoint(&self, free: Side) -> Option<(Endpoint, i64)> {
+        let mut found: Option<(Endpoint, i64)> = None;
+        for t in &self.terms {
+            if t.side == free {
+                if found.is_some() {
+                    return None; // touches two free endpoints (e.g. a length)
+                }
+                if t.coeff != 1 && t.coeff != -1 {
+                    return None;
+                }
+                found = Some((t.endpoint, t.coeff));
+            }
+        }
+        found
+    }
+
+    /// Evaluates only the terms of `side` against a concrete interval;
+    /// returns the partial sum including the constant when `with_constant`.
+    pub fn eval_side(&self, side: Side, iv: &Interval, with_constant: bool) -> i64 {
+        let mut acc = if with_constant { self.constant } else { 0 };
+        for t in &self.terms {
+            if t.side == side {
+                let v = match t.endpoint {
+                    Endpoint::Start => iv.start,
+                    Endpoint::End => iv.end,
+                };
+                acc += t.coeff * v;
+            }
+        }
+        acc
+    }
+}
+
+/// Independent ranges for the two endpoints of one interval variable:
+/// `start ∈ [start.0, start.1]`, `end ∈ [end.0, end.1]`.
+///
+/// This is the domain shape induced by a bucket `b = (g_l, g_l')` (paper
+/// Def. 1 constraints (1) and (2)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointBox {
+    /// Inclusive range of the start endpoint.
+    pub start: (Timestamp, Timestamp),
+    /// Inclusive range of the end endpoint.
+    pub end: (Timestamp, Timestamp),
+}
+
+impl EndpointBox {
+    /// Builds a box, asserting well-formed ranges.
+    pub fn new(start: (Timestamp, Timestamp), end: (Timestamp, Timestamp)) -> Self {
+        assert!(start.0 <= start.1 && end.0 <= end.1, "malformed endpoint box");
+        EndpointBox { start, end }
+    }
+
+    /// The degenerate box holding exactly one interval.
+    pub fn point(iv: &Interval) -> Self {
+        EndpointBox { start: (iv.start, iv.start), end: (iv.end, iv.end) }
+    }
+
+    /// Whether a concrete interval falls inside the box.
+    pub fn contains(&self, iv: &Interval) -> bool {
+        self.start.0 <= iv.start
+            && iv.start <= self.start.1
+            && self.end.0 <= iv.end
+            && iv.end <= self.end.1
+    }
+}
+
+impl fmt::Display for EndpointExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in &self.terms {
+            let sym = match (t.side, t.endpoint) {
+                (Side::Left, Endpoint::Start) => "x.start",
+                (Side::Left, Endpoint::End) => "x.end",
+                (Side::Right, Endpoint::Start) => "y.start",
+                (Side::Right, Endpoint::End) => "y.end",
+            };
+            if first {
+                if t.coeff == 1 {
+                    write!(f, "{sym}")?;
+                } else {
+                    write!(f, "{}*{sym}", t.coeff)?;
+                }
+                first = false;
+            } else if t.coeff >= 0 {
+                write!(f, " + {}*{sym}", t.coeff)?;
+            } else {
+                write!(f, " - {}*{sym}", -t.coeff)?;
+            }
+        }
+        if self.constant != 0 || first {
+            if first {
+                write!(f, "{}", self.constant)?;
+            } else if self.constant > 0 {
+                write!(f, " + {}", self.constant)?;
+            } else {
+                write!(f, " - {}", -self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(id: u64, s: i64, e: i64) -> Interval {
+        Interval::new(id, s, e).unwrap()
+    }
+
+    #[test]
+    fn eval_single_endpoints() {
+        let x = iv(0, 10, 20);
+        let y = iv(1, 30, 45);
+        assert_eq!(EndpointExpr::start(Side::Left).eval(&x, &y), 10);
+        assert_eq!(EndpointExpr::end(Side::Left).eval(&x, &y), 20);
+        assert_eq!(EndpointExpr::start(Side::Right).eval(&x, &y), 30);
+        assert_eq!(EndpointExpr::end(Side::Right).eval(&x, &y), 45);
+    }
+
+    #[test]
+    fn eval_lengths_and_offsets() {
+        let x = iv(0, 10, 20);
+        let y = iv(1, 30, 45);
+        assert_eq!(EndpointExpr::length(Side::Left).eval(&x, &y), 10);
+        assert_eq!(EndpointExpr::length(Side::Right).eval(&x, &y), 15);
+        assert_eq!(EndpointExpr::end(Side::Left).plus(54).eval(&x, &y), 74);
+        assert_eq!(EndpointExpr::length(Side::Left).scaled(10).eval(&x, &y), 100);
+    }
+
+    #[test]
+    fn single_free_endpoint_detection() {
+        let e = EndpointExpr::start(Side::Right);
+        assert_eq!(e.single_free_endpoint(Side::Right), Some((Endpoint::Start, 1)));
+        assert_eq!(e.single_free_endpoint(Side::Left), None);
+        let len = EndpointExpr::length(Side::Right);
+        assert_eq!(len.single_free_endpoint(Side::Right), None, "touches both endpoints");
+        let scaled = EndpointExpr::start(Side::Right).scaled(10);
+        assert_eq!(scaled.single_free_endpoint(Side::Right), None, "non-unit coefficient");
+    }
+
+    #[test]
+    fn minus_merges_like_terms() {
+        let x = iv(0, 10, 20);
+        let y = iv(1, 30, 45);
+        // (x̄ + 5) − x̄ = 5: terms cancel entirely.
+        let d = EndpointExpr::end(Side::Left).plus(5).minus(&EndpointExpr::end(Side::Left));
+        assert!(d.terms.is_empty());
+        assert_eq!(d.eval(&x, &y), 5);
+        // len(y) − 10·len(x) keeps 4 terms and evaluates consistently.
+        let d = EndpointExpr::length(Side::Right).minus(&EndpointExpr::length(Side::Left).scaled(10));
+        assert_eq!(d.eval(&x, &y), 15 - 100);
+        assert_eq!(d.terms.len(), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = EndpointExpr::length(Side::Left).scaled(10);
+        assert_eq!(e.to_string(), "10*x.end - 10*x.start");
+        let c = EndpointExpr::end(Side::Left).plus(54);
+        assert_eq!(c.to_string(), "x.end + 54");
+    }
+
+    proptest! {
+        /// The affine range enclosure is sound and tight at its corners.
+        #[test]
+        fn range_encloses_all_points(
+            s1 in 0i64..50, w1 in 0i64..50, s2 in 0i64..50, w2 in 0i64..50,
+            ds in 0i64..30, de in 0i64..30,
+        ) {
+            // Box: start ∈ [s, s+ds], end ∈ [s+w, s+w+de] per side.
+            let lb = EndpointBox::new((s1, s1 + ds), (s1 + w1, s1 + w1 + de));
+            let rb = EndpointBox::new((s2, s2 + ds), (s2 + w2, s2 + w2 + de));
+            let exprs = [
+                EndpointExpr::start(Side::Left),
+                EndpointExpr::end(Side::Right),
+                EndpointExpr::length(Side::Right),
+                EndpointExpr::length(Side::Left).scaled(10),
+                EndpointExpr::end(Side::Left).plus(7),
+            ];
+            for expr in &exprs {
+                let (lo, hi) = expr.range(&lb, &rb);
+                // Sample corner intervals (clamped to validity).
+                for &(xs, xe) in &[(lb.start.0, lb.end.0), (lb.start.1, lb.end.1), (lb.start.0, lb.end.1)] {
+                    for &(ys, ye) in &[(rb.start.0, rb.end.0), (rb.start.1, rb.end.1), (rb.start.0, rb.end.1)] {
+                        if xe >= xs && ye >= ys {
+                            let v = expr.eval(&iv(0, xs, xe), &iv(1, ys, ye));
+                            prop_assert!(v >= lo && v <= hi, "{v} outside [{lo}, {hi}]");
+                        }
+                    }
+                }
+            }
+        }
+
+        /// `eval` decomposes into per-side partial sums.
+        #[test]
+        fn eval_side_decomposition(s1 in -100i64..100, w1 in 0i64..50, s2 in -100i64..100, w2 in 0i64..50) {
+            let x = iv(0, s1, s1 + w1);
+            let y = iv(1, s2, s2 + w2);
+            let exprs = [
+                EndpointExpr::length(Side::Right),
+                EndpointExpr::end(Side::Left).plus(13),
+                EndpointExpr::start(Side::Right).scaled(-3),
+            ];
+            for e in &exprs {
+                let whole = e.eval(&x, &y);
+                let parts = e.eval_side(Side::Left, &x, true) + e.eval_side(Side::Right, &y, false);
+                prop_assert_eq!(whole, parts);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Time intervals: the base tuples of every RTJ collection.
+
+use crate::error::TemporalError;
+use std::fmt;
+
+/// Integer timestamp. The paper uses integer endpoints (seconds for the
+/// network-traffic dataset); `i64` covers both epoch seconds and
+/// micro-benchmark toy ranges.
+pub type Timestamp = i64;
+
+/// A closed interval `[start, end]` with a collection-unique identifier.
+///
+/// The paper writes the endpoints of `x` as underlined/overlined `x`; here
+/// they are [`Interval::start`] and [`Interval::end`]. `end >= start` always
+/// holds for values built through [`Interval::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Identifier, unique within its collection.
+    pub id: u64,
+    /// Start timestamp (inclusive).
+    pub start: Timestamp,
+    /// End timestamp (inclusive).
+    pub end: Timestamp,
+}
+
+impl Interval {
+    /// Creates an interval, enforcing `end >= start`.
+    pub fn new(id: u64, start: Timestamp, end: Timestamp) -> Result<Self, TemporalError> {
+        if end < start {
+            return Err(TemporalError::InvalidInterval { id, start, end });
+        }
+        Ok(Interval { id, start, end })
+    }
+
+    /// Creates an interval without the ordering check.
+    ///
+    /// Reserved for generators that construct endpoints already ordered;
+    /// debug builds still assert the invariant.
+    #[inline]
+    pub fn new_unchecked(id: u64, start: Timestamp, end: Timestamp) -> Self {
+        debug_assert!(end >= start, "interval {id}: end {end} < start {start}");
+        Interval { id, start, end }
+    }
+
+    /// Interval length `end - start` (a point interval has length 0).
+    #[inline]
+    pub fn length(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether `t` falls inside the closed interval.
+    #[inline]
+    pub fn contains_point(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether the two closed intervals share at least one timestamp.
+    #[inline]
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Parses the plain-text format `id,start,end` used by the collection
+    /// reader (one interval per line, as in the paper's ≈113 MB text files).
+    pub fn parse_line(line: &str, line_no: usize) -> Result<Self, TemporalError> {
+        let mut parts = line.trim().split(',');
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| TemporalError::Parse {
+                    line: line_no,
+                    message: format!("missing field `{what}`"),
+                })
+                .and_then(|s| {
+                    s.trim().parse::<i64>().map_err(|e| TemporalError::Parse {
+                        line: line_no,
+                        message: format!("field `{what}`: {e}"),
+                    })
+                })
+        };
+        let id = next("id")? as u64;
+        let start = next("start")?;
+        let end = next("end")?;
+        if parts.next().is_some() {
+            return Err(TemporalError::Parse {
+                line: line_no,
+                message: "trailing fields".into(),
+            });
+        }
+        Interval::new(id, start, end)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{},{}", self.id, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_enforces_order() {
+        assert!(Interval::new(1, 5, 5).is_ok());
+        assert!(Interval::new(1, 5, 4).is_err());
+        let i = Interval::new(2, 10, 20).unwrap();
+        assert_eq!(i.length(), 10);
+    }
+
+    #[test]
+    fn point_membership() {
+        let i = Interval::new(0, 3, 7).unwrap();
+        assert!(i.contains_point(3));
+        assert!(i.contains_point(7));
+        assert!(!i.contains_point(2));
+        assert!(!i.contains_point(8));
+    }
+
+    #[test]
+    fn intersection_is_symmetric_and_closed() {
+        let a = Interval::new(0, 0, 10).unwrap();
+        let b = Interval::new(1, 10, 20).unwrap();
+        let c = Interval::new(2, 11, 12).unwrap();
+        assert!(a.intersects(&b) && b.intersects(&a), "touching endpoints intersect");
+        assert!(!a.intersects(&c) && !c.intersects(&a));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let i = Interval::new(42, -5, 1000).unwrap();
+        let parsed = Interval::parse_line(&i.to_string(), 1).unwrap();
+        assert_eq!(parsed, i);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Interval::parse_line("1,2", 3).is_err());
+        assert!(Interval::parse_line("1,2,3,4", 3).is_err());
+        assert!(Interval::parse_line("a,2,3", 3).is_err());
+        assert!(Interval::parse_line("1,9,3", 3).is_err(), "end < start");
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        match Interval::parse_line("nope", 17) {
+            Err(TemporalError::Parse { line, .. }) => assert_eq!(line, 17),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

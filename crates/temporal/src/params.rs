@@ -1,0 +1,105 @@
+//! Scored-predicate parameterizations (paper Table 2).
+
+use crate::comparators::Tolerance;
+
+/// The `(λ, ρ)` pairs applied to the `equals` and `greater` primitives of a
+/// scored predicate.
+///
+/// The paper allows different tolerances per comparator kind and per
+/// predicate; Table 2 defines the four presets used throughout the
+/// evaluation:
+///
+/// | Id | (λ_equals, ρ_equals) | (λ_greater, ρ_greater) |
+/// |----|----------------------|------------------------|
+/// | P1 | (4, 16)              | (0, 10)                |
+/// | P2 | (0, 16)              | (2, 8)                 |
+/// | P3 | (4, 12)              | (0, 8)                 |
+/// | PB | (0, 0)               | (0, 0)                 |
+///
+/// `PB` is the Boolean degeneration used to compare against the Boolean
+/// competitors RCCIS and All-Matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredicateParams {
+    /// Tolerance of every `equals` primitive.
+    pub equals: Tolerance,
+    /// Tolerance of every `greater` primitive.
+    pub greater: Tolerance,
+}
+
+impl PredicateParams {
+    /// Builds a parameterization from the four raw values.
+    pub fn new(lambda_eq: i64, rho_eq: i64, lambda_gt: i64, rho_gt: i64) -> Self {
+        PredicateParams {
+            equals: Tolerance::new(lambda_eq, rho_eq),
+            greater: Tolerance::new(lambda_gt, rho_gt),
+        }
+    }
+
+    /// Table 2, row P1: `(4, 16)`, `(0, 10)`.
+    pub const P1: PredicateParams = PredicateParams {
+        equals: Tolerance { lambda: 4, rho: 16 },
+        greater: Tolerance { lambda: 0, rho: 10 },
+    };
+
+    /// Table 2, row P2: `(0, 16)`, `(2, 8)`.
+    pub const P2: PredicateParams = PredicateParams {
+        equals: Tolerance { lambda: 0, rho: 16 },
+        greater: Tolerance { lambda: 2, rho: 8 },
+    };
+
+    /// Table 2, row P3: `(4, 12)`, `(0, 8)`.
+    pub const P3: PredicateParams = PredicateParams {
+        equals: Tolerance { lambda: 4, rho: 12 },
+        greater: Tolerance { lambda: 0, rho: 8 },
+    };
+
+    /// Table 2, row PB: the Boolean interpretation `(0, 0)`, `(0, 0)`.
+    pub const PB: PredicateParams = PredicateParams {
+        equals: Tolerance::ZERO,
+        greater: Tolerance::ZERO,
+    };
+
+    /// Whether this is a Boolean (step-function) parameterization: with
+    /// `PB`, a scored predicate returns exactly `1.0` on tuples satisfying
+    /// the Boolean predicate and `0.0` otherwise.
+    pub fn is_boolean(&self) -> bool {
+        *self == Self::PB
+    }
+
+    /// The presets of Table 2 with their paper names, for harness loops.
+    pub fn table2() -> [(&'static str, PredicateParams); 4] {
+        [
+            ("P1", Self::P1),
+            ("P2", Self::P2),
+            ("P3", Self::P3),
+            ("PB", Self::PB),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        assert_eq!(PredicateParams::P1, PredicateParams::new(4, 16, 0, 10));
+        assert_eq!(PredicateParams::P2, PredicateParams::new(0, 16, 2, 8));
+        assert_eq!(PredicateParams::P3, PredicateParams::new(4, 12, 0, 8));
+        assert_eq!(PredicateParams::PB, PredicateParams::new(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn only_pb_is_boolean() {
+        assert!(PredicateParams::PB.is_boolean());
+        assert!(!PredicateParams::P1.is_boolean());
+        assert!(!PredicateParams::P2.is_boolean());
+        assert!(!PredicateParams::P3.is_boolean());
+    }
+
+    #[test]
+    fn table2_registry_is_complete() {
+        let names: Vec<_> = PredicateParams::table2().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["P1", "P2", "P3", "PB"]);
+    }
+}

@@ -1,0 +1,1074 @@
+//! Boolean and scored temporal predicates (paper Figures 2 and 4).
+//!
+//! A temporal predicate relates two intervals through (in)equalities on
+//! affine expressions of their endpoints. Every predicate here carries:
+//!
+//! * its **Boolean** form — a conjunction of strict comparisons, used by
+//!   the Boolean competitors (RCCIS, All-Matrix) and by tests, and
+//! * its **scored** form `s-p(x, y) ∈ [0, 1]` — the minimum of graded
+//!   [`Primitive`] comparators (`equals` / `greater` of Fig. 3), which is
+//!   what TKIJ evaluates and bounds.
+//!
+//! With the Boolean parameterization `PB = ((0,0),(0,0))` the scored form
+//! returns exactly `1.0` on tuples satisfying the Boolean form and `0.0`
+//! otherwise (verified by property tests), which is how the paper runs
+//! TKIJ-PB against the Boolean baselines.
+
+use crate::comparators::Tolerance;
+use crate::expr::{Endpoint, EndpointBox, EndpointExpr, Side};
+use crate::interval::Interval;
+use crate::params::PredicateParams;
+use std::fmt;
+
+/// The comparator applied to the difference of the two expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimitiveKind {
+    /// Graded equality (plateau around 0).
+    Equals,
+    /// Graded strict inequality `lhs > rhs`.
+    Greater,
+}
+
+/// One graded comparator `kind(lhs, rhs)` with its tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Primitive {
+    /// Which comparator shape.
+    pub kind: PrimitiveKind,
+    /// Left expression.
+    pub lhs: EndpointExpr,
+    /// Right expression.
+    pub rhs: EndpointExpr,
+    /// Tolerance `(λ, ρ)` of this primitive.
+    pub tol: Tolerance,
+}
+
+impl Primitive {
+    /// Builds a graded-equality primitive.
+    pub fn equals(lhs: EndpointExpr, rhs: EndpointExpr, tol: Tolerance) -> Self {
+        Primitive { kind: PrimitiveKind::Equals, lhs, rhs, tol }
+    }
+
+    /// Builds a graded `lhs > rhs` primitive.
+    pub fn greater(lhs: EndpointExpr, rhs: EndpointExpr, tol: Tolerance) -> Self {
+        Primitive { kind: PrimitiveKind::Greater, lhs, rhs, tol }
+    }
+
+    /// The combined difference expression `lhs − rhs`.
+    pub fn difference(&self) -> EndpointExpr {
+        self.lhs.minus(&self.rhs)
+    }
+
+    /// Score of the primitive on a concrete pair.
+    #[inline]
+    pub fn score(&self, x: &Interval, y: &Interval) -> f64 {
+        let d = self.lhs.eval(x, y) - self.rhs.eval(x, y);
+        match self.kind {
+            PrimitiveKind::Equals => self.tol.equals(d),
+            PrimitiveKind::Greater => self.tol.greater(d),
+        }
+    }
+
+    /// Sound (and per-primitive exact) score range over endpoint boxes.
+    pub fn score_range(&self, left: &EndpointBox, right: &EndpointBox) -> (f64, f64) {
+        let (dlo, dhi) = self.difference().range(left, right);
+        match self.kind {
+            PrimitiveKind::Equals => self.tol.equals_range(dlo, dhi),
+            PrimitiveKind::Greater => self.tol.greater_range(dlo, dhi),
+        }
+    }
+
+    /// Boolean satisfaction of the *crisp* comparison underlying the
+    /// primitive (ignoring tolerances): `lhs = rhs` / `lhs > rhs`.
+    #[inline]
+    pub fn holds_crisp(&self, x: &Interval, y: &Interval) -> bool {
+        let d = self.lhs.eval(x, y) - self.rhs.eval(x, y);
+        match self.kind {
+            PrimitiveKind::Equals => d == 0,
+            PrimitiveKind::Greater => d > 0,
+        }
+    }
+
+    /// If the free side appears in the difference through exactly one
+    /// endpoint with unit coefficient, returns the axis-aligned range that
+    /// endpoint must lie in for this primitive to score at least `v`.
+    ///
+    /// Returns `None` when the primitive does not constrain a single axis
+    /// (then callers fall back to the enclosing bucket window and re-check
+    /// scores exactly). The range may be unbounded on either side
+    /// (`±f64::INFINITY`).
+    pub fn free_axis_window(
+        &self,
+        anchor: &Interval,
+        anchor_side: Side,
+        v: f64,
+    ) -> Option<(Endpoint, f64, f64)> {
+        let free_side = match anchor_side {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        };
+        let diff = self.difference();
+        let (endpoint, coeff) = diff.single_free_endpoint(free_side)?;
+        // d = coeff·f + K, where K gathers the anchored terms + constant.
+        let k = diff.eval_side(anchor_side, anchor, true);
+        let region = match self.kind {
+            PrimitiveKind::Equals => self.tol.equals_region(v),
+            PrimitiveKind::Greater => self.tol.greater_region(v),
+        };
+        let (dlo, dhi) = (
+            region.lo.unwrap_or(f64::NEG_INFINITY),
+            region.hi.unwrap_or(f64::INFINITY),
+        );
+        // coeff·f ∈ [dlo − K, dhi − K]
+        let (flo, fhi) = if coeff > 0 {
+            (dlo - k as f64, dhi - k as f64)
+        } else {
+            (-(dhi - k as f64), -(dlo - k as f64))
+        };
+        Some((endpoint, flo, fhi))
+    }
+}
+
+/// The crisp comparison operator of a Boolean atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOp {
+    /// `lhs = rhs`
+    Eq,
+    /// `lhs < rhs`
+    Lt,
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs > rhs`
+    Gt,
+}
+
+/// One conjunct of a Boolean temporal predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoolAtom {
+    /// Comparison operator.
+    pub op: BoolOp,
+    /// Left expression.
+    pub lhs: EndpointExpr,
+    /// Right expression.
+    pub rhs: EndpointExpr,
+}
+
+impl BoolAtom {
+    fn holds(&self, x: &Interval, y: &Interval) -> bool {
+        let d = self.lhs.eval(x, y) - self.rhs.eval(x, y);
+        match self.op {
+            BoolOp::Eq => d == 0,
+            BoolOp::Lt => d < 0,
+            BoolOp::Le => d <= 0,
+            BoolOp::Gt => d > 0,
+        }
+    }
+}
+
+/// Identifies the predicate family (used for display, query naming and
+/// baseline routing). The paper's Fig. 2 lists 7 Allen relations; the 6
+/// inverse relations complete the full 13-relation Allen algebra and are
+/// derived mechanically (`p⁻¹(x, y) = p(y, x)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredicateKind {
+    /// Allen `before`.
+    Before,
+    /// Allen `equals`.
+    Equals,
+    /// Allen `meets`.
+    Meets,
+    /// Allen `overlaps`.
+    Overlaps,
+    /// Allen `contains`.
+    Contains,
+    /// Allen `starts`.
+    Starts,
+    /// Allen `finishedBy`.
+    FinishedBy,
+    /// Allen `after` — inverse of `before`.
+    After,
+    /// Allen `metBy` — inverse of `meets`.
+    MetBy,
+    /// Allen `overlappedBy` — inverse of `overlaps`.
+    OverlappedBy,
+    /// Allen `during` — inverse of `contains`.
+    During,
+    /// Allen `startedBy` — inverse of `starts`.
+    StartedBy,
+    /// Allen `finishes` — inverse of `finishedBy`.
+    Finishes,
+    /// Paper Fig. 4 `justBefore` (gap bounded by the average length).
+    JustBefore,
+    /// Paper Fig. 4 `shiftMeets` (gap equal to the average length).
+    ShiftMeets,
+    /// Paper Fig. 4 `sparks` (a short interval igniting a much longer one).
+    Sparks,
+}
+
+impl PredicateKind {
+    /// Abbreviation used in the paper's query names (Table 1).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            PredicateKind::Before => "b",
+            PredicateKind::Equals => "e",
+            PredicateKind::Meets => "m",
+            PredicateKind::Overlaps => "o",
+            PredicateKind::Contains => "c",
+            PredicateKind::Starts => "s",
+            PredicateKind::FinishedBy => "f",
+            PredicateKind::After => "a",
+            PredicateKind::MetBy => "mB",
+            PredicateKind::OverlappedBy => "oB",
+            PredicateKind::During => "d",
+            PredicateKind::StartedBy => "sB",
+            PredicateKind::Finishes => "fi",
+            PredicateKind::JustBefore => "jB",
+            PredicateKind::ShiftMeets => "sM",
+            PredicateKind::Sparks => "sp",
+        }
+    }
+
+    /// All kinds, for exhaustive tests and harness sweeps.
+    pub fn all() -> [PredicateKind; 16] {
+        [
+            PredicateKind::Before,
+            PredicateKind::Equals,
+            PredicateKind::Meets,
+            PredicateKind::Overlaps,
+            PredicateKind::Contains,
+            PredicateKind::Starts,
+            PredicateKind::FinishedBy,
+            PredicateKind::After,
+            PredicateKind::MetBy,
+            PredicateKind::OverlappedBy,
+            PredicateKind::During,
+            PredicateKind::StartedBy,
+            PredicateKind::Finishes,
+            PredicateKind::JustBefore,
+            PredicateKind::ShiftMeets,
+            PredicateKind::Sparks,
+        ]
+    }
+
+    /// The 13 Boolean Allen relations (which partition the configurations
+    /// of two *proper* intervals — property-tested).
+    pub fn allen() -> [PredicateKind; 13] {
+        [
+            PredicateKind::Before,
+            PredicateKind::After,
+            PredicateKind::Meets,
+            PredicateKind::MetBy,
+            PredicateKind::Overlaps,
+            PredicateKind::OverlappedBy,
+            PredicateKind::Starts,
+            PredicateKind::StartedBy,
+            PredicateKind::During,
+            PredicateKind::Contains,
+            PredicateKind::Finishes,
+            PredicateKind::FinishedBy,
+            PredicateKind::Equals,
+        ]
+    }
+
+    /// The inverse relation, if this kind has one in the algebra.
+    pub fn inverse(&self) -> Option<PredicateKind> {
+        Some(match self {
+            PredicateKind::Before => PredicateKind::After,
+            PredicateKind::After => PredicateKind::Before,
+            PredicateKind::Meets => PredicateKind::MetBy,
+            PredicateKind::MetBy => PredicateKind::Meets,
+            PredicateKind::Overlaps => PredicateKind::OverlappedBy,
+            PredicateKind::OverlappedBy => PredicateKind::Overlaps,
+            PredicateKind::Starts => PredicateKind::StartedBy,
+            PredicateKind::StartedBy => PredicateKind::Starts,
+            PredicateKind::During => PredicateKind::Contains,
+            PredicateKind::Contains => PredicateKind::During,
+            PredicateKind::Finishes => PredicateKind::FinishedBy,
+            PredicateKind::FinishedBy => PredicateKind::Finishes,
+            PredicateKind::Equals => PredicateKind::Equals,
+            _ => return None,
+        })
+    }
+}
+
+/// Coarse classification used by the Boolean baselines of Chawda et al.:
+/// RCCIS supports colocation predicates (the intervals of a Boolean match
+/// share a timestamp), All-Matrix supports sequence predicates (`x`
+/// entirely precedes `y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredicateClass {
+    /// Boolean matches intersect (meets, overlaps, starts, …).
+    Colocation,
+    /// Boolean matches are strictly ordered in time (before, justBefore, …).
+    Sequence,
+}
+
+/// A temporal predicate with both Boolean and scored interpretations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalPredicate {
+    /// Predicate family.
+    pub kind: PredicateKind,
+    /// Conjunction defining the Boolean form.
+    pub boolean: Vec<BoolAtom>,
+    /// Min-combined graded primitives defining the scored form.
+    pub primitives: Vec<Primitive>,
+}
+
+impl TemporalPredicate {
+    /// `before(x, y) ⇔ x̄ < y̲`; `s-before = greater(y̲, x̄)`.
+    pub fn before(p: PredicateParams) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::Before,
+            boolean: vec![BoolAtom {
+                op: BoolOp::Lt,
+                lhs: EndpointExpr::end(Side::Left),
+                rhs: EndpointExpr::start(Side::Right),
+            }],
+            primitives: vec![Primitive::greater(
+                EndpointExpr::start(Side::Right),
+                EndpointExpr::end(Side::Left),
+                p.greater,
+            )],
+        }
+    }
+
+    /// `equals(x, y) ⇔ x̲ = y̲ ∧ x̄ = ȳ`;
+    /// `s-equals = min{equals(x̲, y̲), equals(x̄, ȳ)}`.
+    pub fn equals(p: PredicateParams) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::Equals,
+            boolean: vec![
+                BoolAtom {
+                    op: BoolOp::Eq,
+                    lhs: EndpointExpr::start(Side::Left),
+                    rhs: EndpointExpr::start(Side::Right),
+                },
+                BoolAtom {
+                    op: BoolOp::Eq,
+                    lhs: EndpointExpr::end(Side::Left),
+                    rhs: EndpointExpr::end(Side::Right),
+                },
+            ],
+            primitives: vec![
+                Primitive::equals(
+                    EndpointExpr::start(Side::Left),
+                    EndpointExpr::start(Side::Right),
+                    p.equals,
+                ),
+                Primitive::equals(
+                    EndpointExpr::end(Side::Left),
+                    EndpointExpr::end(Side::Right),
+                    p.equals,
+                ),
+            ],
+        }
+    }
+
+    /// `meets(x, y) ⇔ x̄ = y̲`; `s-meets = equals(x̄, y̲)`.
+    pub fn meets(p: PredicateParams) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::Meets,
+            boolean: vec![BoolAtom {
+                op: BoolOp::Eq,
+                lhs: EndpointExpr::end(Side::Left),
+                rhs: EndpointExpr::start(Side::Right),
+            }],
+            primitives: vec![Primitive::equals(
+                EndpointExpr::end(Side::Left),
+                EndpointExpr::start(Side::Right),
+                p.equals,
+            )],
+        }
+    }
+
+    /// `overlaps(x, y) ⇔ x̲ < y̲ ∧ x̄ > y̲ ∧ x̄ < ȳ`;
+    /// `s-overlaps = min{greater(y̲, x̲), greater(x̄, y̲), greater(ȳ, x̄)}`.
+    pub fn overlaps(p: PredicateParams) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::Overlaps,
+            boolean: vec![
+                BoolAtom {
+                    op: BoolOp::Lt,
+                    lhs: EndpointExpr::start(Side::Left),
+                    rhs: EndpointExpr::start(Side::Right),
+                },
+                BoolAtom {
+                    op: BoolOp::Gt,
+                    lhs: EndpointExpr::end(Side::Left),
+                    rhs: EndpointExpr::start(Side::Right),
+                },
+                BoolAtom {
+                    op: BoolOp::Lt,
+                    lhs: EndpointExpr::end(Side::Left),
+                    rhs: EndpointExpr::end(Side::Right),
+                },
+            ],
+            primitives: vec![
+                Primitive::greater(
+                    EndpointExpr::start(Side::Right),
+                    EndpointExpr::start(Side::Left),
+                    p.greater,
+                ),
+                Primitive::greater(
+                    EndpointExpr::end(Side::Left),
+                    EndpointExpr::start(Side::Right),
+                    p.greater,
+                ),
+                Primitive::greater(
+                    EndpointExpr::end(Side::Right),
+                    EndpointExpr::end(Side::Left),
+                    p.greater,
+                ),
+            ],
+        }
+    }
+
+    /// `contains(x, y) ⇔ x̲ < y̲ ∧ x̄ > ȳ`;
+    /// `s-contains = min{greater(y̲, x̲), greater(x̄, ȳ)}`.
+    pub fn contains(p: PredicateParams) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::Contains,
+            boolean: vec![
+                BoolAtom {
+                    op: BoolOp::Lt,
+                    lhs: EndpointExpr::start(Side::Left),
+                    rhs: EndpointExpr::start(Side::Right),
+                },
+                BoolAtom {
+                    op: BoolOp::Gt,
+                    lhs: EndpointExpr::end(Side::Left),
+                    rhs: EndpointExpr::end(Side::Right),
+                },
+            ],
+            primitives: vec![
+                Primitive::greater(
+                    EndpointExpr::start(Side::Right),
+                    EndpointExpr::start(Side::Left),
+                    p.greater,
+                ),
+                Primitive::greater(
+                    EndpointExpr::end(Side::Left),
+                    EndpointExpr::end(Side::Right),
+                    p.greater,
+                ),
+            ],
+        }
+    }
+
+    /// `starts(x, y) ⇔ x̲ = y̲ ∧ x̄ < ȳ`;
+    /// `s-starts = min{equals(x̲, y̲), greater(ȳ, x̄)}`.
+    pub fn starts(p: PredicateParams) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::Starts,
+            boolean: vec![
+                BoolAtom {
+                    op: BoolOp::Eq,
+                    lhs: EndpointExpr::start(Side::Left),
+                    rhs: EndpointExpr::start(Side::Right),
+                },
+                BoolAtom {
+                    op: BoolOp::Lt,
+                    lhs: EndpointExpr::end(Side::Left),
+                    rhs: EndpointExpr::end(Side::Right),
+                },
+            ],
+            primitives: vec![
+                Primitive::equals(
+                    EndpointExpr::start(Side::Left),
+                    EndpointExpr::start(Side::Right),
+                    p.equals,
+                ),
+                Primitive::greater(
+                    EndpointExpr::end(Side::Right),
+                    EndpointExpr::end(Side::Left),
+                    p.greater,
+                ),
+            ],
+        }
+    }
+
+    /// `finishedBy(x, y) ⇔ x̲ < y̲ ∧ x̄ = ȳ`;
+    /// `s-finishedBy = min{greater(y̲, x̲), equals(x̄, ȳ)}`.
+    pub fn finished_by(p: PredicateParams) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::FinishedBy,
+            boolean: vec![
+                BoolAtom {
+                    op: BoolOp::Lt,
+                    lhs: EndpointExpr::start(Side::Left),
+                    rhs: EndpointExpr::start(Side::Right),
+                },
+                BoolAtom {
+                    op: BoolOp::Eq,
+                    lhs: EndpointExpr::end(Side::Left),
+                    rhs: EndpointExpr::end(Side::Right),
+                },
+            ],
+            primitives: vec![
+                Primitive::greater(
+                    EndpointExpr::start(Side::Right),
+                    EndpointExpr::start(Side::Left),
+                    p.greater,
+                ),
+                Primitive::equals(
+                    EndpointExpr::end(Side::Left),
+                    EndpointExpr::end(Side::Right),
+                    p.equals,
+                ),
+            ],
+        }
+    }
+
+    /// Fig. 4 `justBefore(x, y) ⇔ x̄ < y̲ ∧ y̲ − x̄ ≤ avg`, where `avg` is
+    /// the average interval length.
+    ///
+    /// Scored form per the paper: `min{greater(y̲, x̄), equals(x̄, y̲)}` with
+    /// `λ_greater = ρ_greater = 0`, `λ_equals = avg` and `ρ_equals` taken
+    /// from `p` (any positive value).
+    pub fn just_before(p: PredicateParams, avg: i64) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::JustBefore,
+            boolean: vec![
+                BoolAtom {
+                    op: BoolOp::Lt,
+                    lhs: EndpointExpr::end(Side::Left),
+                    rhs: EndpointExpr::start(Side::Right),
+                },
+                BoolAtom {
+                    op: BoolOp::Le,
+                    lhs: EndpointExpr::start(Side::Right),
+                    rhs: EndpointExpr::end(Side::Left).plus(avg),
+                },
+            ],
+            primitives: vec![
+                Primitive::greater(
+                    EndpointExpr::start(Side::Right),
+                    EndpointExpr::end(Side::Left),
+                    Tolerance::ZERO,
+                ),
+                Primitive::equals(
+                    EndpointExpr::end(Side::Left),
+                    EndpointExpr::start(Side::Right),
+                    Tolerance::new(avg.max(0), p.equals.rho),
+                ),
+            ],
+        }
+    }
+
+    /// Fig. 4 `shiftMeets(x, y) ⇔ y̲ = x̄ + avg`;
+    /// `s-shiftMeets = equals(x̄ + avg, y̲)`.
+    pub fn shift_meets(p: PredicateParams, avg: i64) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::ShiftMeets,
+            boolean: vec![BoolAtom {
+                op: BoolOp::Eq,
+                lhs: EndpointExpr::start(Side::Right),
+                rhs: EndpointExpr::end(Side::Left).plus(avg),
+            }],
+            primitives: vec![Primitive::equals(
+                EndpointExpr::end(Side::Left).plus(avg),
+                EndpointExpr::start(Side::Right),
+                p.equals,
+            )],
+        }
+    }
+
+    /// Fig. 4 `sparks(x, y) ⇔ x̄ < y̲ ∧ (ȳ − y̲) > factor·(x̄ − x̲)`;
+    /// `s-sparks = min{greater(y̲, x̄), greater(ȳ − y̲, factor·(x̄ − x̲))}`.
+    ///
+    /// The paper fixes `factor = 10` ("the preceding hashtag lasted 10
+    /// times shorter").
+    pub fn sparks(p: PredicateParams, factor: i64) -> Self {
+        TemporalPredicate {
+            kind: PredicateKind::Sparks,
+            boolean: vec![
+                BoolAtom {
+                    op: BoolOp::Lt,
+                    lhs: EndpointExpr::end(Side::Left),
+                    rhs: EndpointExpr::start(Side::Right),
+                },
+                BoolAtom {
+                    op: BoolOp::Gt,
+                    lhs: EndpointExpr::length(Side::Right),
+                    rhs: EndpointExpr::length(Side::Left).scaled(factor),
+                },
+            ],
+            primitives: vec![
+                Primitive::greater(
+                    EndpointExpr::start(Side::Right),
+                    EndpointExpr::end(Side::Left),
+                    p.greater,
+                ),
+                Primitive::greater(
+                    EndpointExpr::length(Side::Right),
+                    EndpointExpr::length(Side::Left).scaled(factor),
+                    p.greater,
+                ),
+            ],
+        }
+    }
+
+    /// The inverse relation `p⁻¹(x, y) = p(y, x)`: every endpoint
+    /// expression has its sides exchanged and the kind is mapped through
+    /// [`PredicateKind::inverse`]. Completes the 13-relation Allen
+    /// algebra from the paper's 7 base relations.
+    ///
+    /// Panics for the extended predicates (`justBefore`, `shiftMeets`,
+    /// `sparks`), which have no named inverse in the algebra.
+    pub fn inverse(&self) -> Self {
+        let kind = self
+            .kind
+            .inverse()
+            .unwrap_or_else(|| panic!("{self} has no inverse relation"));
+        TemporalPredicate {
+            kind,
+            boolean: self
+                .boolean
+                .iter()
+                .map(|a| BoolAtom {
+                    op: a.op,
+                    lhs: a.lhs.clone().swap_sides(),
+                    rhs: a.rhs.clone().swap_sides(),
+                })
+                .collect(),
+            primitives: self
+                .primitives
+                .iter()
+                .map(|pr| Primitive {
+                    kind: pr.kind,
+                    lhs: pr.lhs.clone().swap_sides(),
+                    rhs: pr.rhs.clone().swap_sides(),
+                    tol: pr.tol,
+                })
+                .collect(),
+        }
+    }
+
+    /// Allen `after(x, y) ⇔ before(y, x)`.
+    pub fn after(p: PredicateParams) -> Self {
+        Self::before(p).inverse()
+    }
+
+    /// Allen `metBy(x, y) ⇔ meets(y, x)`.
+    pub fn met_by(p: PredicateParams) -> Self {
+        Self::meets(p).inverse()
+    }
+
+    /// Allen `overlappedBy(x, y) ⇔ overlaps(y, x)`.
+    pub fn overlapped_by(p: PredicateParams) -> Self {
+        Self::overlaps(p).inverse()
+    }
+
+    /// Allen `during(x, y) ⇔ contains(y, x)`.
+    pub fn during(p: PredicateParams) -> Self {
+        Self::contains(p).inverse()
+    }
+
+    /// Allen `startedBy(x, y) ⇔ starts(y, x)`.
+    pub fn started_by(p: PredicateParams) -> Self {
+        Self::starts(p).inverse()
+    }
+
+    /// Allen `finishes(x, y) ⇔ finishedBy(y, x)`.
+    pub fn finishes(p: PredicateParams) -> Self {
+        Self::finished_by(p).inverse()
+    }
+
+    /// Builds a predicate by kind. `avg` parameterizes `justBefore` and
+    /// `shiftMeets` (ignored elsewhere); `sparks` uses the paper's
+    /// factor 10.
+    pub fn from_kind(kind: PredicateKind, p: PredicateParams, avg: i64) -> Self {
+        match kind {
+            PredicateKind::Before => Self::before(p),
+            PredicateKind::Equals => Self::equals(p),
+            PredicateKind::Meets => Self::meets(p),
+            PredicateKind::Overlaps => Self::overlaps(p),
+            PredicateKind::Contains => Self::contains(p),
+            PredicateKind::Starts => Self::starts(p),
+            PredicateKind::FinishedBy => Self::finished_by(p),
+            PredicateKind::After => Self::after(p),
+            PredicateKind::MetBy => Self::met_by(p),
+            PredicateKind::OverlappedBy => Self::overlapped_by(p),
+            PredicateKind::During => Self::during(p),
+            PredicateKind::StartedBy => Self::started_by(p),
+            PredicateKind::Finishes => Self::finishes(p),
+            PredicateKind::JustBefore => Self::just_before(p, avg),
+            PredicateKind::ShiftMeets => Self::shift_meets(p, avg),
+            PredicateKind::Sparks => Self::sparks(p, 10),
+        }
+    }
+
+    /// Scored evaluation `s-p(x, y)`: minimum over the graded primitives.
+    #[inline]
+    pub fn score(&self, x: &Interval, y: &Interval) -> f64 {
+        let mut s = 1.0f64;
+        for prim in &self.primitives {
+            s = s.min(prim.score(x, y));
+            if s == 0.0 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Boolean evaluation `p(x, y)`.
+    #[inline]
+    pub fn holds(&self, x: &Interval, y: &Interval) -> bool {
+        self.boolean.iter().all(|a| a.holds(x, y))
+    }
+
+    /// Sound score enclosure over endpoint boxes: interval min of the
+    /// per-primitive (exact) ranges. May be loose when primitives share
+    /// endpoints; the solver tightens it by branch-and-bound.
+    pub fn score_range(&self, left: &EndpointBox, right: &EndpointBox) -> (f64, f64) {
+        let mut lo = 1.0f64;
+        let mut hi = 1.0f64;
+        for prim in &self.primitives {
+            let (plo, phi) = prim.score_range(left, right);
+            lo = lo.min(plo);
+            hi = hi.min(phi);
+        }
+        (lo, hi)
+    }
+
+    /// Baseline routing class of the Boolean form.
+    pub fn class(&self) -> PredicateClass {
+        match self.kind {
+            PredicateKind::Before
+            | PredicateKind::After
+            | PredicateKind::JustBefore
+            | PredicateKind::ShiftMeets
+            | PredicateKind::Sparks => PredicateClass::Sequence,
+            _ => PredicateClass::Colocation,
+        }
+    }
+
+    /// Axis-aligned window the *free* interval's endpoints must satisfy for
+    /// `s-p ≥ v`, given the anchored interval. Conservative: a primitive
+    /// that does not constrain a single axis contributes no bound. Callers
+    /// must still verify scores exactly.
+    pub fn threshold_window(
+        &self,
+        anchor: &Interval,
+        anchor_side: Side,
+        v: f64,
+    ) -> ThresholdWindow {
+        let mut w = ThresholdWindow::unbounded();
+        if v <= 0.0 {
+            return w;
+        }
+        for prim in &self.primitives {
+            if let Some((endpoint, lo, hi)) = prim.free_axis_window(anchor, anchor_side, v) {
+                w.tighten(endpoint, lo, hi);
+            }
+        }
+        w
+    }
+}
+
+/// Conservative per-axis bounds on the free interval's endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdWindow {
+    /// Range the free start must lie in.
+    pub start: (f64, f64),
+    /// Range the free end must lie in.
+    pub end: (f64, f64),
+}
+
+impl ThresholdWindow {
+    /// A window that admits everything.
+    pub fn unbounded() -> Self {
+        ThresholdWindow {
+            start: (f64::NEG_INFINITY, f64::INFINITY),
+            end: (f64::NEG_INFINITY, f64::INFINITY),
+        }
+    }
+
+    /// Intersects a new per-axis constraint in.
+    pub fn tighten(&mut self, endpoint: Endpoint, lo: f64, hi: f64) {
+        let axis = match endpoint {
+            Endpoint::Start => &mut self.start,
+            Endpoint::End => &mut self.end,
+        };
+        axis.0 = axis.0.max(lo);
+        axis.1 = axis.1.min(hi);
+    }
+
+    /// Whether no interval can satisfy the window.
+    pub fn is_empty(&self) -> bool {
+        self.start.0 > self.start.1 || self.end.0 > self.end.1
+    }
+
+    /// Whether a concrete interval satisfies the window.
+    pub fn admits(&self, iv: &Interval) -> bool {
+        let s = iv.start as f64;
+        let e = iv.end as f64;
+        s >= self.start.0 && s <= self.start.1 && e >= self.end.0 && e <= self.end.1
+    }
+}
+
+impl fmt::Display for TemporalPredicate {
+    /// Writes the scored name, e.g. `s-overlaps`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.kind {
+            PredicateKind::Before => "before",
+            PredicateKind::Equals => "equals",
+            PredicateKind::Meets => "meets",
+            PredicateKind::Overlaps => "overlaps",
+            PredicateKind::Contains => "contains",
+            PredicateKind::Starts => "starts",
+            PredicateKind::FinishedBy => "finishedBy",
+            PredicateKind::After => "after",
+            PredicateKind::MetBy => "metBy",
+            PredicateKind::OverlappedBy => "overlappedBy",
+            PredicateKind::During => "during",
+            PredicateKind::StartedBy => "startedBy",
+            PredicateKind::Finishes => "finishes",
+            PredicateKind::JustBefore => "justBefore",
+            PredicateKind::ShiftMeets => "shiftMeets",
+            PredicateKind::Sparks => "sparks",
+        };
+        write!(f, "s-{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(id: u64, s: i64, e: i64) -> Interval {
+        Interval::new(id, s, e).unwrap()
+    }
+
+    #[test]
+    fn boolean_allen_semantics() {
+        let p = PredicateParams::P1;
+        let x = iv(0, 10, 20);
+        assert!(TemporalPredicate::before(p).holds(&x, &iv(1, 25, 30)));
+        assert!(!TemporalPredicate::before(p).holds(&x, &iv(1, 20, 30)), "touching is meets, not before");
+        assert!(TemporalPredicate::meets(p).holds(&x, &iv(1, 20, 30)));
+        assert!(TemporalPredicate::equals(p).holds(&x, &iv(1, 10, 20)));
+        assert!(TemporalPredicate::overlaps(p).holds(&x, &iv(1, 15, 30)));
+        assert!(!TemporalPredicate::overlaps(p).holds(&x, &iv(1, 10, 30)), "needs strict start order");
+        assert!(TemporalPredicate::contains(p).holds(&x, &iv(1, 12, 18)));
+        assert!(TemporalPredicate::starts(p).holds(&x, &iv(1, 10, 25)));
+        assert!(TemporalPredicate::finished_by(p).holds(&x, &iv(1, 15, 20)));
+    }
+
+    #[test]
+    fn boolean_extended_semantics() {
+        let p = PredicateParams::P1;
+        let x = iv(0, 10, 20);
+        let jb = TemporalPredicate::just_before(p, 5);
+        assert!(jb.holds(&x, &iv(1, 23, 30)), "gap 3 ≤ avg 5");
+        assert!(jb.holds(&x, &iv(1, 25, 30)), "gap 5 ≤ avg 5");
+        assert!(!jb.holds(&x, &iv(1, 26, 30)), "gap 6 > avg 5");
+        assert!(!jb.holds(&x, &iv(1, 20, 30)), "must start strictly after");
+
+        let sm = TemporalPredicate::shift_meets(p, 5);
+        assert!(sm.holds(&x, &iv(1, 25, 30)));
+        assert!(!sm.holds(&x, &iv(1, 24, 30)));
+
+        let sp = TemporalPredicate::sparks(p, 10);
+        // len(x) = 10, need len(y) > 100 and y after x.
+        assert!(sp.holds(&x, &iv(1, 21, 130)));
+        assert!(!sp.holds(&x, &iv(1, 21, 121)), "len exactly 100 is not >");
+        assert!(!sp.holds(&x, &iv(1, 15, 200)), "y must start after x ends");
+    }
+
+    #[test]
+    fn scored_meets_matches_figure3() {
+        // (λ_e, ρ_e) = (4, 8): score 1 when |gap| ≤ 4, 0.5 at |gap| = 8.
+        let p = PredicateParams::new(4, 8, 0, 0);
+        let m = TemporalPredicate::meets(p);
+        let x = iv(0, 0, 100);
+        assert_eq!(m.score(&x, &iv(1, 100, 150)), 1.0);
+        assert_eq!(m.score(&x, &iv(1, 104, 150)), 1.0);
+        assert!((m.score(&x, &iv(1, 108, 150)) - 0.5).abs() < 1e-12);
+        assert_eq!(m.score(&x, &iv(1, 112, 150)), 0.0);
+    }
+
+    #[test]
+    fn scored_starts_uses_min() {
+        let p = PredicateParams::new(4, 16, 0, 10);
+        let s = TemporalPredicate::starts(p);
+        let x = iv(0, 100, 200);
+        // Perfect start equality but weak end inequality → min limits.
+        let y = iv(1, 100, 205);
+        let expected = p.greater.greater(5); // 0.5
+        assert!((s.score(&x, &y) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        let p = PredicateParams::P1;
+        assert_eq!(TemporalPredicate::overlaps(p).to_string(), "s-overlaps");
+        assert_eq!(TemporalPredicate::just_before(p, 3).to_string(), "s-justBefore");
+        assert_eq!(PredicateKind::ShiftMeets.short_name(), "sM");
+    }
+
+    #[test]
+    fn classes_route_to_baselines() {
+        let p = PredicateParams::PB;
+        assert_eq!(TemporalPredicate::before(p).class(), PredicateClass::Sequence);
+        assert_eq!(TemporalPredicate::sparks(p, 10).class(), PredicateClass::Sequence);
+        assert_eq!(TemporalPredicate::meets(p).class(), PredicateClass::Colocation);
+        assert_eq!(TemporalPredicate::overlaps(p).class(), PredicateClass::Colocation);
+    }
+
+    #[test]
+    fn threshold_window_meets() {
+        // s-meets(x, y) = equals(x̄, y̲) with (λ, ρ) = (4, 8); anchor x ends
+        // at 100; v = 0.5 ⇒ |x̄ − y̲| ≤ 4 + 8·0.5 = 8 ⇒ y̲ ∈ [92, 108].
+        let p = PredicateParams::new(4, 8, 0, 0);
+        let m = TemporalPredicate::meets(p);
+        let x = iv(0, 0, 100);
+        let w = m.threshold_window(&x, Side::Left, 0.5);
+        assert_eq!(w.start, (92.0, 108.0));
+        assert_eq!(w.end, (f64::NEG_INFINITY, f64::INFINITY));
+        assert!(w.admits(&iv(1, 100, 500)));
+        assert!(!w.admits(&iv(1, 110, 500)));
+    }
+
+    #[test]
+    fn threshold_window_anchoring_right_side() {
+        // Anchor y, free x: s-meets constrains x̄.
+        let p = PredicateParams::new(4, 8, 0, 0);
+        let m = TemporalPredicate::meets(p);
+        let y = iv(1, 100, 150);
+        let w = m.threshold_window(&y, Side::Right, 1.0);
+        assert_eq!(w.end, (96.0, 104.0));
+        assert!(w.admits(&iv(0, 0, 100)));
+        assert!(!w.admits(&iv(0, 0, 90)));
+    }
+
+    #[test]
+    fn sparks_window_is_conservative_not_empty() {
+        // The length primitive touches both free endpoints → only the
+        // first primitive (y̲ > x̄) contributes.
+        let p = PredicateParams::P1;
+        let sp = TemporalPredicate::sparks(p, 10);
+        let x = iv(0, 10, 20);
+        let w = sp.threshold_window(&x, Side::Left, 1.0);
+        assert!(w.start.0 >= 20.0);
+        assert_eq!(w.end, (f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn inverse_relations_swap_sides() {
+        let p = PredicateParams::P1;
+        let x = iv(0, 10, 20);
+        let y = iv(1, 12, 30);
+        for base in [
+            TemporalPredicate::before(p),
+            TemporalPredicate::meets(p),
+            TemporalPredicate::overlaps(p),
+            TemporalPredicate::contains(p),
+            TemporalPredicate::starts(p),
+            TemporalPredicate::finished_by(p),
+            TemporalPredicate::equals(p),
+        ] {
+            let inv = base.inverse();
+            assert_eq!(base.holds(&x, &y), inv.holds(&y, &x), "{base}");
+            assert_eq!(base.score(&x, &y), inv.score(&y, &x), "{base}");
+            assert_eq!(inv.inverse().kind, base.kind, "double inverse");
+        }
+        // Spot semantics: during(x, y) ⇔ contains(y, x).
+        let during = TemporalPredicate::during(p);
+        assert!(during.holds(&iv(0, 14, 18), &iv(1, 10, 20)));
+        assert!(!during.holds(&iv(0, 10, 20), &iv(1, 14, 18)));
+        // after(x, y) ⇔ before(y, x).
+        let after = TemporalPredicate::after(p);
+        assert!(after.holds(&iv(0, 30, 40), &iv(1, 0, 10)));
+        assert!(!after.holds(&iv(0, 0, 10), &iv(1, 30, 40)));
+        assert_eq!(after.class(), PredicateClass::Sequence);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse relation")]
+    fn extended_predicates_have_no_inverse() {
+        let _ = TemporalPredicate::sparks(PredicateParams::P1, 10).inverse();
+    }
+
+    proptest! {
+        /// Allen's theorem: for two *proper* intervals, exactly one of the
+        /// 13 relations holds. This pins every Boolean definition at once.
+        #[test]
+        fn thirteen_relations_partition_proper_pairs(
+            xs in -50i64..50, xw in 1i64..30,
+            ys in -50i64..50, yw in 1i64..30,
+        ) {
+            let p = PredicateParams::PB;
+            let x = iv(0, xs, xs + xw);
+            let y = iv(1, ys, ys + yw);
+            let holding: Vec<&str> = PredicateKind::allen()
+                .iter()
+                .filter(|k| TemporalPredicate::from_kind(**k, p, 0).holds(&x, &y))
+                .map(|k| k.short_name())
+                .collect();
+            prop_assert_eq!(
+                holding.len(),
+                1,
+                "exactly one Allen relation must hold for {:?}/{:?}: {:?}",
+                x,
+                y,
+                holding
+            );
+        }
+
+        /// With PB, scored == Boolean indicator, for every predicate kind.
+        #[test]
+        fn pb_scored_equals_boolean(
+            kind_idx in 0usize..16,
+            xs in -50i64..50, xw in 0i64..30,
+            ys in -50i64..50, yw in 0i64..30,
+            avg in 1i64..10,
+        ) {
+            let kind = PredicateKind::all()[kind_idx];
+            let pred = TemporalPredicate::from_kind(kind, PredicateParams::PB, avg);
+            let x = iv(0, xs, xs + xw);
+            let y = iv(1, ys, ys + yw);
+            let s = pred.score(&x, &y);
+            prop_assert!(s == 0.0 || s == 1.0, "PB must be crisp, got {s}");
+            prop_assert_eq!(s == 1.0, pred.holds(&x, &y), "kind {:?}", kind);
+        }
+
+        /// Scores are within [0,1] and score_range encloses the score at
+        /// the point box.
+        #[test]
+        fn score_range_soundness(
+            kind_idx in 0usize..16,
+            xs in -50i64..50, xw in 0i64..30,
+            ys in -50i64..50, yw in 0i64..30,
+        ) {
+            let kind = PredicateKind::all()[kind_idx];
+            let pred = TemporalPredicate::from_kind(kind, PredicateParams::P1, 5);
+            let x = iv(0, xs, xs + xw);
+            let y = iv(1, ys, ys + yw);
+            let s = pred.score(&x, &y);
+            prop_assert!((0.0..=1.0).contains(&s));
+            let (lo, hi) = pred.score_range(&EndpointBox::point(&x), &EndpointBox::point(&y));
+            prop_assert!(lo - 1e-12 <= s && s <= hi + 1e-12);
+        }
+
+        /// Any interval scoring ≥ v is admitted by the threshold window.
+        #[test]
+        fn threshold_window_soundness(
+            kind_idx in 0usize..16,
+            xs in -50i64..50, xw in 0i64..30,
+            ys in -50i64..50, yw in 0i64..30,
+            v in 0.05f64..1.0,
+        ) {
+            let kind = PredicateKind::all()[kind_idx];
+            let pred = TemporalPredicate::from_kind(kind, PredicateParams::P2, 5);
+            let x = iv(0, xs, xs + xw);
+            let y = iv(1, ys, ys + yw);
+            if pred.score(&x, &y) >= v {
+                let w = pred.threshold_window(&x, Side::Left, v);
+                prop_assert!(w.admits(&y), "window {w:?} must admit scoring pair");
+                let w = pred.threshold_window(&y, Side::Right, v);
+                prop_assert!(w.admits(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! n-ary RTJ queries: weakly-connected oriented simple graphs whose edges
+//! carry scored temporal predicates (paper §2).
+//!
+//! Each vertex maps to a collection; each edge `(i, j)` applies
+//! `s-p(i,j)(x_i, x_j)` with `x_i` playing the predicate's left side. The
+//! tuple score aggregates the per-edge scores with a monotone
+//! [`Aggregation`]. [`query::table1`](self::table1) reproduces the paper's
+//! query set.
+
+use crate::aggregate::Aggregation;
+use crate::collection::CollectionId;
+use crate::error::TemporalError;
+use crate::expr::Side;
+use crate::interval::Interval;
+use crate::params::PredicateParams;
+use crate::predicate::TemporalPredicate;
+
+/// One edge of the query graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEdge {
+    /// Left vertex (plays `x` in the predicate).
+    pub src: usize,
+    /// Right vertex (plays `y`).
+    pub dst: usize,
+    /// The scored temporal predicate.
+    pub predicate: TemporalPredicate,
+}
+
+/// An n-ary Ranked Temporal Join query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Collection bound to each vertex (vertices may share collections —
+    /// self-joins, as in the paper's copied traffic collections).
+    pub vertices: Vec<CollectionId>,
+    /// Predicate edges; validated to form a weakly-connected simple
+    /// oriented graph without anti-parallel pairs.
+    pub edges: Vec<QueryEdge>,
+    /// Monotone score aggregation `S` (the paper's experiments use the
+    /// normalized sum).
+    pub aggregation: Aggregation,
+}
+
+impl Query {
+    /// Builds and validates a query.
+    pub fn new(
+        vertices: Vec<CollectionId>,
+        edges: Vec<QueryEdge>,
+        aggregation: Aggregation,
+    ) -> Result<Self, TemporalError> {
+        let n = vertices.len();
+        if n < 2 {
+            return Err(TemporalError::InvalidQuery("need at least 2 vertices".into()));
+        }
+        if edges.is_empty() {
+            return Err(TemporalError::InvalidQuery("need at least one edge".into()));
+        }
+        if let Some(arity) = aggregation.arity() {
+            if arity != edges.len() {
+                return Err(TemporalError::InvalidQuery(format!(
+                    "aggregation expects {arity} edges, query has {}",
+                    edges.len()
+                )));
+            }
+        }
+        for (idx, e) in edges.iter().enumerate() {
+            if e.src >= n || e.dst >= n {
+                return Err(TemporalError::InvalidQuery(format!(
+                    "edge {idx} references vertex out of range"
+                )));
+            }
+            if e.src == e.dst {
+                return Err(TemporalError::InvalidQuery(format!("edge {idx} is a self loop")));
+            }
+            for prior in &edges[..idx] {
+                if prior.src == e.src && prior.dst == e.dst {
+                    return Err(TemporalError::InvalidQuery(format!(
+                        "duplicate edge ({}, {})",
+                        e.src, e.dst
+                    )));
+                }
+                if prior.src == e.dst && prior.dst == e.src {
+                    return Err(TemporalError::InvalidQuery(format!(
+                        "anti-parallel edges between {} and {}",
+                        e.src, e.dst
+                    )));
+                }
+            }
+        }
+        // Weak connectivity.
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for e in &edges {
+                let other = if e.src == v {
+                    Some(e.dst)
+                } else if e.dst == v {
+                    Some(e.src)
+                } else {
+                    None
+                };
+                if let Some(o) = other {
+                    if !seen[o] {
+                        seen[o] = true;
+                        stack.push(o);
+                    }
+                }
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(TemporalError::InvalidQuery("graph is not weakly connected".into()));
+        }
+        Ok(Query { vertices, edges, aggregation })
+    }
+
+    /// Number of query vertices `n`.
+    pub fn n(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Per-edge scores of a concrete tuple (indexed like `self.edges`).
+    pub fn edge_scores(&self, tuple: &[Interval]) -> Vec<f64> {
+        debug_assert_eq!(tuple.len(), self.n());
+        self.edges
+            .iter()
+            .map(|e| e.predicate.score(&tuple[e.src], &tuple[e.dst]))
+            .collect()
+    }
+
+    /// Aggregated score `S` of a concrete tuple.
+    pub fn score_tuple(&self, tuple: &[Interval]) -> f64 {
+        self.aggregation.eval(&self.edge_scores(tuple))
+    }
+
+    /// Boolean satisfaction: every edge predicate holds crisply.
+    pub fn holds_boolean(&self, tuple: &[Interval]) -> bool {
+        self.edges
+            .iter()
+            .all(|e| e.predicate.holds(&tuple[e.src], &tuple[e.dst]))
+    }
+
+    /// Plans a left-deep vertex order for local evaluation: each step binds
+    /// one new vertex through an *anchor* edge to an already-bound vertex
+    /// (used for index-driven candidate retrieval) and lists the remaining
+    /// edges to bound vertices as exact *checks* (cycle edges, e.g. the
+    /// `(x_1, x_3)` edge of Q_{s,f,m}).
+    pub fn plan(&self) -> JoinPlan {
+        let n = self.n();
+        // Start from the highest-degree vertex (ties → lowest index): star
+        // centers and chain middles first keep candidate sets narrow.
+        let mut degree = vec![0usize; n];
+        for e in &self.edges {
+            degree[e.src] += 1;
+            degree[e.dst] += 1;
+        }
+        let first = (0..n).max_by_key(|&v| (degree[v], n - v)).expect("n ≥ 2");
+        let mut bound = vec![false; n];
+        bound[first] = true;
+        let mut steps = vec![JoinStep { vertex: first, anchor: None, checks: vec![] }];
+        while steps.len() < n {
+            // Next vertex: adjacent to the bound set, lowest index.
+            let mut next: Option<(usize, usize)> = None; // (vertex, anchor edge)
+            for (ei, e) in self.edges.iter().enumerate() {
+                let cand = if bound[e.src] && !bound[e.dst] {
+                    Some(e.dst)
+                } else if bound[e.dst] && !bound[e.src] {
+                    Some(e.src)
+                } else {
+                    None
+                };
+                if let Some(v) = cand {
+                    if next.is_none_or(|(bv, _)| v < bv) {
+                        next = Some((v, ei));
+                    }
+                }
+            }
+            let (v, anchor_edge) = next.expect("weak connectivity guarantees progress");
+            let e = &self.edges[anchor_edge];
+            let (bound_vertex, anchor_side) =
+                if bound[e.src] { (e.src, Side::Left) } else { (e.dst, Side::Right) };
+            bound[v] = true;
+            let checks = self
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(ei, e)| {
+                    *ei != anchor_edge
+                        && ((e.src == v && bound[e.dst]) || (e.dst == v && bound[e.src]))
+                })
+                .map(|(ei, _)| ei)
+                .collect();
+            steps.push(JoinStep {
+                vertex: v,
+                anchor: Some(AnchorEdge { edge: anchor_edge, bound_vertex, anchor_side }),
+                checks,
+            });
+        }
+        JoinPlan { steps }
+    }
+
+    /// The paper-style query name, e.g. `Q_{s,f,m}`.
+    pub fn name(&self) -> String {
+        let preds: Vec<&str> = self.edges.iter().map(|e| e.predicate.kind.short_name()).collect();
+        format!("Q{{{}}}", preds.join(","))
+    }
+}
+
+/// The anchor of a join step: the edge connecting the new vertex to an
+/// already-bound one, and which predicate side the bound vertex plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnchorEdge {
+    /// Index into `Query::edges`.
+    pub edge: usize,
+    /// The bound vertex providing the anchor interval.
+    pub bound_vertex: usize,
+    /// The side the *bound* vertex plays in the predicate (the new vertex
+    /// plays the opposite side).
+    pub anchor_side: Side,
+}
+
+/// One step of a left-deep plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStep {
+    /// Vertex bound at this step.
+    pub vertex: usize,
+    /// How candidates are retrieved (`None` for the first step: full
+    /// bucket scan).
+    pub anchor: Option<AnchorEdge>,
+    /// Extra edges (by index) between this vertex and earlier-bound ones,
+    /// evaluated exactly after retrieval.
+    pub checks: Vec<usize>,
+}
+
+/// A complete left-deep evaluation order covering every vertex and edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// The steps, first one anchorless.
+    pub steps: Vec<JoinStep>,
+}
+
+impl JoinPlan {
+    /// Sanity check: every edge appears exactly once as anchor or check.
+    pub fn covers_all_edges(&self, num_edges: usize) -> bool {
+        let mut seen = vec![0usize; num_edges];
+        for s in &self.steps {
+            if let Some(a) = s.anchor {
+                seen[a.edge] += 1;
+            }
+            for &c in &s.checks {
+                seen[c] += 1;
+            }
+        }
+        seen.iter().all(|&c| c == 1)
+    }
+}
+
+/// The paper's Table 1 query set.
+///
+/// Vertices are mapped to `CollectionId(0..n)`; chain queries use edges
+/// `(1,2), (2,3)` (1-indexed in the paper), star queries `(1, j)` for
+/// `j = 2..n`. `avg` parameterizes `justBefore`/`shiftMeets` and must be
+/// the average interval length of the dataset.
+pub mod table1 {
+    use super::*;
+
+    fn chain(kinds: &[crate::predicate::PredicateKind], p: PredicateParams, avg: i64) -> Query {
+        let n = kinds.len() + 1;
+        let vertices = (0..n as u32).map(CollectionId).collect();
+        let edges = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| QueryEdge {
+                src: i,
+                dst: i + 1,
+                predicate: TemporalPredicate::from_kind(*k, p, avg),
+            })
+            .collect();
+        Query::new(vertices, edges, Aggregation::NormalizedSum).expect("valid chain query")
+    }
+
+    fn star(kind: crate::predicate::PredicateKind, n: usize, p: PredicateParams, avg: i64) -> Query {
+        assert!(n >= 2);
+        let vertices = (0..n as u32).map(CollectionId).collect();
+        let edges = (1..n)
+            .map(|j| QueryEdge {
+                src: 0,
+                dst: j,
+                predicate: TemporalPredicate::from_kind(kind, p, avg),
+            })
+            .collect();
+        Query::new(vertices, edges, Aggregation::NormalizedSum).expect("valid star query")
+    }
+
+    use crate::predicate::PredicateKind as K;
+
+    /// `Q_{b,b}`: s-before(x1,x2), s-before(x2,x3).
+    pub fn q_bb(p: PredicateParams) -> Query {
+        chain(&[K::Before, K::Before], p, 0)
+    }
+
+    /// `Q_{f,f}`: s-finishedBy(x1,x2), s-finishedBy(x2,x3).
+    pub fn q_ff(p: PredicateParams) -> Query {
+        chain(&[K::FinishedBy, K::FinishedBy], p, 0)
+    }
+
+    /// `Q_{o,o}`: s-overlaps(x1,x2), s-overlaps(x2,x3).
+    pub fn q_oo(p: PredicateParams) -> Query {
+        chain(&[K::Overlaps, K::Overlaps], p, 0)
+    }
+
+    /// `Q_{s,s}`: s-starts(x1,x2), s-starts(x2,x3).
+    pub fn q_ss(p: PredicateParams) -> Query {
+        chain(&[K::Starts, K::Starts], p, 0)
+    }
+
+    /// `Q_{s,f,m}`: s-starts(x1,x2), s-finishedBy(x2,x3), s-meets(x1,x3)
+    /// — the cyclic 3-way query.
+    pub fn q_sfm(p: PredicateParams) -> Query {
+        let vertices = (0..3).map(CollectionId).collect();
+        let edges = vec![
+            QueryEdge { src: 0, dst: 1, predicate: TemporalPredicate::starts(p) },
+            QueryEdge { src: 1, dst: 2, predicate: TemporalPredicate::finished_by(p) },
+            QueryEdge { src: 0, dst: 2, predicate: TemporalPredicate::meets(p) },
+        ];
+        Query::new(vertices, edges, Aggregation::NormalizedSum).expect("valid Qsfm")
+    }
+
+    /// `Q_{f,b}`: s-finishedBy(x1,x2), s-before(x2,x3).
+    pub fn q_fb(p: PredicateParams) -> Query {
+        chain(&[K::FinishedBy, K::Before], p, 0)
+    }
+
+    /// `Q_{o,m}`: s-overlaps(x1,x2), s-meets(x2,x3).
+    pub fn q_om(p: PredicateParams) -> Query {
+        chain(&[K::Overlaps, K::Meets], p, 0)
+    }
+
+    /// `Q_{s,m}`: s-starts(x1,x2), s-meets(x2,x3).
+    pub fn q_sm(p: PredicateParams) -> Query {
+        chain(&[K::Starts, K::Meets], p, 0)
+    }
+
+    /// `Q_{b*}`: n-ary star of s-before from x1.
+    pub fn q_b_star(n: usize, p: PredicateParams) -> Query {
+        star(K::Before, n, p, 0)
+    }
+
+    /// `Q_{o*}`: n-ary star of s-overlaps from x1.
+    pub fn q_o_star(n: usize, p: PredicateParams) -> Query {
+        star(K::Overlaps, n, p, 0)
+    }
+
+    /// `Q_{m*}`: n-ary star of s-meets from x1.
+    pub fn q_m_star(n: usize, p: PredicateParams) -> Query {
+        star(K::Meets, n, p, 0)
+    }
+
+    /// `Q_{jB,jB}`: s-justBefore(x1,x2), s-justBefore(x2,x3).
+    pub fn q_jbjb(p: PredicateParams, avg: i64) -> Query {
+        chain(&[K::JustBefore, K::JustBefore], p, avg)
+    }
+
+    /// `Q_{sM,sM}`: s-shiftMeets(x1,x2), s-shiftMeets(x2,x3).
+    pub fn q_smsm(p: PredicateParams, avg: i64) -> Query {
+        chain(&[K::ShiftMeets, K::ShiftMeets], p, avg)
+    }
+
+    /// All fixed-arity Table 1 queries with their paper names (star
+    /// queries are instantiated at `n = 3`).
+    pub fn all(p: PredicateParams, avg: i64) -> Vec<(&'static str, Query)> {
+        vec![
+            ("Qb,b", q_bb(p)),
+            ("Qf,f", q_ff(p)),
+            ("Qo,o", q_oo(p)),
+            ("Qs,f,m", q_sfm(p)),
+            ("Qs,s", q_ss(p)),
+            ("Qb*", q_b_star(3, p)),
+            ("Qo*", q_o_star(3, p)),
+            ("Qm*", q_m_star(3, p)),
+            ("Qf,b", q_fb(p)),
+            ("Qo,m", q_om(p)),
+            ("Qs,m", q_sm(p)),
+            ("QjB,jB", q_jbjb(p, avg)),
+            ("QsM,sM", q_smsm(p, avg)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PredicateKind;
+
+    fn iv(id: u64, s: i64, e: i64) -> Interval {
+        Interval::new(id, s, e).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_graphs() {
+        let p = PredicateParams::P1;
+        let c = |n: u32| (0..n).map(CollectionId).collect::<Vec<_>>();
+        let before = || TemporalPredicate::before(p);
+        // Self loop.
+        assert!(Query::new(
+            c(2),
+            vec![QueryEdge { src: 0, dst: 0, predicate: before() }],
+            Aggregation::NormalizedSum
+        )
+        .is_err());
+        // Anti-parallel.
+        assert!(Query::new(
+            c(2),
+            vec![
+                QueryEdge { src: 0, dst: 1, predicate: before() },
+                QueryEdge { src: 1, dst: 0, predicate: before() },
+            ],
+            Aggregation::NormalizedSum
+        )
+        .is_err());
+        // Disconnected (4 vertices, one edge).
+        assert!(Query::new(
+            c(4),
+            vec![QueryEdge { src: 0, dst: 1, predicate: before() }],
+            Aggregation::NormalizedSum
+        )
+        .is_err());
+        // Weight arity mismatch.
+        assert!(Query::new(
+            c(2),
+            vec![QueryEdge { src: 0, dst: 1, predicate: before() }],
+            Aggregation::WeightedSum(vec![1.0, 2.0])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn table1_queries_are_valid_and_named() {
+        for (name, q) in table1::all(PredicateParams::P1, 5) {
+            assert!(q.n() >= 3, "{name}");
+            assert!(q.plan().covers_all_edges(q.edges.len()), "{name}");
+            assert!(!q.name().is_empty());
+        }
+        assert_eq!(table1::q_sfm(PredicateParams::P1).name(), "Q{s,f,m}");
+        assert_eq!(table1::q_jbjb(PredicateParams::P3, 5).name(), "Q{jB,jB}");
+    }
+
+    #[test]
+    fn star_arity_matches_n() {
+        for n in 2..=5 {
+            let q = table1::q_o_star(n, PredicateParams::P1);
+            assert_eq!(q.n(), n);
+            assert_eq!(q.edges.len(), n - 1);
+            assert!(q.plan().covers_all_edges(n - 1));
+        }
+    }
+
+    #[test]
+    fn score_tuple_normalized_sum() {
+        let p = PredicateParams::new(4, 8, 0, 10);
+        let q = table1::q_sm(p);
+        // x1 starts with x2 perfectly; x2 meets x3 with gap 8 ⇒ equals
+        // score 0.5 ⇒ S = (1 + ... ) depends on starts' greater part.
+        let x1 = iv(0, 100, 150);
+        let x2 = iv(1, 100, 200); // starts: equals(100,100)=1, greater(200,150)=1
+        let x3 = iv(2, 208, 300); // meets: equals(200,208) = (4+8-8)/8 = 0.5
+        let scores = q.edge_scores(&[x1, x2, x3]);
+        assert_eq!(scores[0], 1.0);
+        assert!((scores[1] - 0.5).abs() < 1e-12);
+        assert!((q.score_tuple(&[x1, x2, x3]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_tuple_evaluation() {
+        let q = table1::q_bb(PredicateParams::PB);
+        let t = [iv(0, 0, 10), iv(1, 11, 20), iv(2, 25, 30)];
+        assert!(q.holds_boolean(&t));
+        let t2 = [iv(0, 0, 10), iv(1, 10, 20), iv(2, 25, 30)];
+        assert!(!q.holds_boolean(&t2), "touching is not before");
+    }
+
+    #[test]
+    fn plan_chain_binds_each_vertex_once() {
+        let q = table1::q_om(PredicateParams::P1);
+        let plan = q.plan();
+        let mut vertices: Vec<usize> = plan.steps.iter().map(|s| s.vertex).collect();
+        vertices.sort_unstable();
+        assert_eq!(vertices, vec![0, 1, 2]);
+        assert!(plan.steps[0].anchor.is_none());
+        assert!(plan.steps[1..].iter().all(|s| s.anchor.is_some()));
+        // Chain middle vertex has degree 2 → chosen first.
+        assert_eq!(plan.steps[0].vertex, 1);
+    }
+
+    #[test]
+    fn plan_cycle_has_check_edge() {
+        let q = table1::q_sfm(PredicateParams::P1);
+        let plan = q.plan();
+        let total_checks: usize = plan.steps.iter().map(|s| s.checks.len()).sum();
+        assert_eq!(total_checks, 1, "one cycle edge must become a check");
+        assert!(plan.covers_all_edges(3));
+    }
+
+    #[test]
+    fn plan_star_anchors_on_center() {
+        let q = table1::q_b_star(5, PredicateParams::P1);
+        let plan = q.plan();
+        assert_eq!(plan.steps[0].vertex, 0, "star center bound first");
+        for s in &plan.steps[1..] {
+            let a = s.anchor.unwrap();
+            assert_eq!(a.bound_vertex, 0);
+            assert_eq!(a.anchor_side, Side::Left);
+            assert!(s.checks.is_empty());
+        }
+    }
+
+    #[test]
+    fn from_kind_round_trips_short_names() {
+        let q = table1::q_m_star(3, PredicateParams::P1);
+        assert_eq!(q.edges[0].predicate.kind, PredicateKind::Meets);
+        assert_eq!(q.name(), "Q{m,m}");
+    }
+}

@@ -1,0 +1,75 @@
+//! The textual query syntax and the completed Allen algebra, exercised
+//! end to end through the engine.
+
+use tkij::prelude::*;
+use tkij::temporal::parse_query;
+
+#[test]
+fn parsed_queries_run_identically_to_built_ones() {
+    let engine = Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4));
+    let dataset = engine.prepare(uniform_collections(3, 40, 808)).unwrap();
+    let p = PredicateParams::P1;
+    for (text, built) in [
+        ("overlaps(1,2), meets(2,3)", table1::q_om(p)),
+        ("starts(1,2), finishedBy(2,3), meets(1,3)", table1::q_sfm(p)),
+        ("b(1,2), b(1,3)", table1::q_b_star(3, p)),
+    ] {
+        let parsed = parse_query(text, p, 0).unwrap();
+        assert_eq!(parsed, built, "{text}");
+        let a = engine.execute(&dataset, &parsed, 6).unwrap();
+        let b = engine.execute(&dataset, &built, 6).unwrap();
+        assert_eq!(
+            a.results.iter().map(|t| (t.ids.clone(), t.score)).collect::<Vec<_>>(),
+            b.results.iter().map(|t| (t.ids.clone(), t.score)).collect::<Vec<_>>(),
+        );
+    }
+}
+
+#[test]
+fn inverse_relations_mirror_their_base_through_the_engine() {
+    // during(1,2) must return the mirror tuples of contains(2,1)-style
+    // queries: run `contains` with the vertices swapped and compare.
+    let engine = Tkij::new(TkijConfig::default().with_granules(6).with_reducers(3));
+    let dataset = engine.prepare(uniform_collections(2, 60, 313)).unwrap();
+    let p = PredicateParams::P1;
+
+    let during = Query::new(
+        vec![CollectionId(0), CollectionId(1)],
+        vec![QueryEdge { src: 0, dst: 1, predicate: TemporalPredicate::during(p) }],
+        Aggregation::NormalizedSum,
+    )
+    .unwrap();
+    // contains with src/dst exchanged is the same relation.
+    let contains_swapped = Query::new(
+        vec![CollectionId(0), CollectionId(1)],
+        vec![QueryEdge { src: 1, dst: 0, predicate: TemporalPredicate::contains(p) }],
+        Aggregation::NormalizedSum,
+    )
+    .unwrap();
+
+    let a = engine.execute(&dataset, &during, 8).unwrap();
+    let b = engine.execute(&dataset, &contains_swapped, 8).unwrap();
+    let scores = |r: &ExecutionReport| r.results.iter().map(|t| t.score).collect::<Vec<_>>();
+    assert_eq!(scores(&a).len(), scores(&b).len());
+    for (x, y) in scores(&a).iter().zip(scores(&b).iter()) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn parsed_inverse_predicates_match_oracle() {
+    let engine = Tkij::new(TkijConfig::default().with_granules(5).with_reducers(3));
+    let dataset = engine.prepare(uniform_collections(2, 45, 99)).unwrap();
+    let p = PredicateParams::P2;
+    for text in ["after(1,2)", "metBy(1,2)", "during(1,2)", "finishes(1,2)", "oB(1,2)"] {
+        let q = parse_query(text, p, 0).unwrap();
+        let report = engine.execute(&dataset, &q, 7).unwrap();
+        let refs: Vec<_> =
+            q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
+        let expected = naive_topk(&q, &refs, 7);
+        assert_eq!(report.results.len(), expected.len(), "{text}");
+        for (g, e) in report.results.iter().zip(&expected) {
+            assert!((g.score - e.score).abs() < 1e-9, "{text}");
+        }
+    }
+}
