@@ -88,9 +88,7 @@ pub fn run_all_matrix(
 
     let mut inputs: Vec<(u16, Interval)> = Vec::new();
     for (v, cid) in query.vertices.iter().enumerate() {
-        inputs.extend(
-            collections[cid.0 as usize].intervals().iter().map(|iv| (v as u16, *iv)),
-        );
+        inputs.extend(collections[cid.0 as usize].intervals().iter().map(|iv| (v as u16, *iv)));
     }
 
     let (tuples, metrics) = run_map_reduce(
@@ -160,11 +158,7 @@ fn boolean_join(
             if hi != v {
                 continue;
             }
-            let (x, y) = if e.src == v {
-                (iv, &tuple[e.dst])
-            } else {
-                (&tuple[e.src], iv)
-            };
+            let (x, y) = if e.src == v { (iv, &tuple[e.dst]) } else { (&tuple[e.src], iv) };
             if !e.predicate.holds(x, y) {
                 continue 'cand;
             }
@@ -218,11 +212,9 @@ mod tests {
             ("QjB,jB", table1::q_jbjb(PredicateParams::PB, avg)),
             ("QsM,sM", table1::q_smsm(PredicateParams::PB, avg)),
         ] {
-            let refs: Vec<_> =
-                q.vertices.iter().map(|c| &collections[c.0 as usize]).collect();
+            let refs: Vec<_> = q.vertices.iter().map(|c| &collections[c.0 as usize]).collect();
             let expected = naive_boolean(&q, &refs);
-            let report =
-                run_all_matrix(&q, &collections, usize::MAX, 4, &cluster).expect(name);
+            let report = run_all_matrix(&q, &collections, usize::MAX, 4, &cluster).expect(name);
             assert_eq!(boolean_ids(&report), expected, "{name}");
         }
     }
@@ -234,8 +226,7 @@ mod tests {
         let cluster = ClusterConfig::default();
         let mut reference: Option<Vec<Vec<u64>>> = None;
         for g in [1, 2, 5] {
-            let report =
-                run_all_matrix(&q, &collections, usize::MAX, g, &cluster).unwrap();
+            let report = run_all_matrix(&q, &collections, usize::MAX, g, &cluster).unwrap();
             let ids = boolean_ids(&report);
             let dedup: std::collections::HashSet<_> = ids.iter().cloned().collect();
             assert_eq!(dedup.len(), ids.len(), "g={g}");
@@ -257,8 +248,7 @@ mod tests {
     fn stop_at_k_caps_results() {
         let collections = uniform_collections(3, 100, 13);
         let q = table1::q_bb(PredicateParams::PB);
-        let report =
-            run_all_matrix(&q, &collections, 7, 4, &ClusterConfig::default()).unwrap();
+        let report = run_all_matrix(&q, &collections, 7, 4, &ClusterConfig::default()).unwrap();
         assert_eq!(report.results.len(), 7);
     }
 }

@@ -42,9 +42,8 @@ pub fn shared_partitioning(
     ranges: impl IntoIterator<Item = (i64, i64)>,
     g: u32,
 ) -> TimePartitioning {
-    let (min, max) = ranges
-        .into_iter()
-        .fold((i64::MAX, i64::MIN), |acc, r| (acc.0.min(r.0), acc.1.max(r.1)));
+    let (min, max) =
+        ranges.into_iter().fold((i64::MAX, i64::MIN), |acc, r| (acc.0.min(r.0), acc.1.max(r.1)));
     TimePartitioning::from_range(min, max, g).expect("non-empty joint range")
 }
 

@@ -23,12 +23,12 @@
 
 use crate::common::{granule_span, shared_partitioning, BaselineReport};
 use tkij_mapreduce::{run_map_reduce, ClusterConfig, SizeOf};
+use tkij_temporal::collection::IntervalCollection;
 use tkij_temporal::granule::TimePartitioning;
 use tkij_temporal::interval::Interval;
 use tkij_temporal::predicate::PredicateClass;
 use tkij_temporal::query::Query;
 use tkij_temporal::result::MatchTuple;
-use tkij_temporal::collection::IntervalCollection;
 
 /// Shuffle record of one cascade stage: either an intermediate tuple
 /// (tagged by its anchor interval) or a probe interval of the new vertex.
@@ -98,8 +98,7 @@ pub fn run_rccis(
         let bound_order_snapshot = bound_order.clone();
 
         // Build the stage's mixed input.
-        let mut inputs: Vec<StageRec> =
-            intermediates.drain(..).map(StageRec::Tuple).collect();
+        let mut inputs: Vec<StageRec> = intermediates.drain(..).map(StageRec::Tuple).collect();
         inputs.extend(probe_coll.intervals().iter().map(|iv| StageRec::Probe(*iv)));
 
         let (outputs, metrics) = run_map_reduce(
@@ -138,7 +137,9 @@ pub fn run_rccis(
                 }
                 // Deterministic order regardless of shuffle interleaving.
                 tuples.sort_by(|a, b| {
-                    a.iter().map(|i| i.id).collect::<Vec<_>>()
+                    a.iter()
+                        .map(|i| i.id)
+                        .collect::<Vec<_>>()
                         .cmp(&b.iter().map(|i| i.id).collect::<Vec<_>>())
                 });
                 probes.sort_by_key(|iv| iv.id);
@@ -245,12 +246,7 @@ mod tests {
             .map(|i| {
                 uniform_collection(
                     CollectionId(i),
-                    &SyntheticConfig {
-                        size,
-                        start_range: (0, 1500),
-                        length_range: (1, 100),
-                        seed,
-                    },
+                    &SyntheticConfig { size, start_range: (0, 1500), length_range: (1, 100), seed },
                 )
             })
             .collect()
@@ -267,11 +263,9 @@ mod tests {
             ("Qs,f,m", table1::q_sfm(PredicateParams::PB)),
             ("Qm*", table1::q_m_star(3, PredicateParams::PB)),
         ] {
-            let refs: Vec<_> =
-                q.vertices.iter().map(|c| &collections[c.0 as usize]).collect();
+            let refs: Vec<_> = q.vertices.iter().map(|c| &collections[c.0 as usize]).collect();
             let expected = naive_boolean(&q, &refs);
-            let report =
-                run_rccis(&q, &collections, usize::MAX, 8, &cluster).expect(name);
+            let report = run_rccis(&q, &collections, usize::MAX, 8, &cluster).expect(name);
             assert_eq!(boolean_ids(&report), expected, "{name}");
         }
     }

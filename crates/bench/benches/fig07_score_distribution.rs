@@ -34,8 +34,7 @@ fn main() {
     ];
 
     println!("|Ci| = {size}, pairs = {}, plotted window = top-{window}", size * size);
-    let ranks: Vec<usize> =
-        vec![1, window / 8, window / 4, window / 2, (3 * window) / 4, window];
+    let ranks: Vec<usize> = vec![1, window / 8, window / 4, window / 2, (3 * window) / 4, window];
     let mut rows = Vec::new();
     let mut perfect_counts = Vec::new();
     for (name, pred) in &predicates {

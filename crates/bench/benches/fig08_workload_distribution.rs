@@ -52,9 +52,7 @@ fn main() {
                         .with_strategy(Strategy::Loose)
                         .with_distribution(policy),
                 );
-                let dataset = tk
-                    .prepare(uniform_collections(q.n(), *size, 4242))
-                    .expect("prepare");
+                let dataset = tk.prepare(uniform_collections(q.n(), *size, 4242)).expect("prepare");
                 let report = tk.execute(&dataset, &q, k).expect("execute");
                 per_policy.push((
                     policy.name(),
@@ -99,10 +97,6 @@ fn main() {
     print_table(&["|Ci| paper->run", "query", "LPT", "DTB"], &rows_max);
     println!("\n(8c) Min score of k-th result across reducers:");
     print_table(&["|Ci| paper->run", "query", "LPT", "DTB"], &rows_kth);
-    let avg_ratio =
-        shuffle_ratio_acc.iter().sum::<f64>() / shuffle_ratio_acc.len().max(1) as f64;
-    println!(
-        "\nshuffle volume LPT/DTB = {:.2}x (paper: ~1.43x on average)",
-        avg_ratio
-    );
+    let avg_ratio = shuffle_ratio_acc.iter().sum::<f64>() / shuffle_ratio_acc.len().max(1) as f64;
+    println!("\nshuffle volume LPT/DTB = {:.2}x (paper: ~1.43x on average)", avg_ratio);
 }

@@ -31,11 +31,9 @@ fn main() {
     );
     println!("|Ci| -> {size}; n up to {max_n} (n = 5 under TKIJ_FULL=1)\n");
 
-    let star_queries: Vec<(&str, fn(usize, PredicateParams) -> tkij_temporal::query::Query)> = vec![
-        ("Qb*", table1::q_b_star),
-        ("Qo*", table1::q_o_star),
-        ("Qm*", table1::q_m_star),
-    ];
+    type StarQuery = (&'static str, fn(usize, PredicateParams) -> tkij_temporal::query::Query);
+    let star_queries: Vec<StarQuery> =
+        vec![("Qb*", table1::q_b_star), ("Qo*", table1::q_o_star), ("Qm*", table1::q_m_star)];
     let k = scale.k(100);
 
     for (qname, build) in star_queries {
@@ -44,12 +42,10 @@ fn main() {
         for n in 3..=max_n {
             let q = build(n, PredicateParams::P1);
             let tk = Tkij::new(TkijConfig::default().with_granules(15));
-            let dataset =
-                tk.prepare(uniform_collections(n, size, 1312)).expect("prepare");
+            let dataset = tk.prepare(uniform_collections(n, size, 1312)).expect("prepare");
             // Estimate |Ω| to honor the paper's time cap.
-            let buckets_per_vertex: Vec<u128> = (0..n)
-                .map(|v| dataset.matrices[v].nonempty_len() as u128)
-                .collect();
+            let buckets_per_vertex: Vec<u128> =
+                (0..n).map(|v| dataset.matrices[v].nonempty_len() as u128).collect();
             let omega: u128 = buckets_per_vertex.iter().product();
             for (sname, strategy) in Strategy::all() {
                 let cap = match strategy {
@@ -68,9 +64,7 @@ fn main() {
                     ]);
                     continue;
                 }
-                let tk = Tkij::new(
-                    TkijConfig::default().with_granules(15).with_strategy(strategy),
-                );
+                let tk = Tkij::new(TkijConfig::default().with_granules(15).with_strategy(strategy));
                 let report = tk.execute(&dataset, &q, k).expect("execute");
                 rows.push(vec![
                     format!("n={n}"),
@@ -79,17 +73,16 @@ fn main() {
                     secs(report.distribution.duration),
                     secs(report.join.wall),
                     secs(report.merge.wall),
-                    secs(report.topbuckets.duration
-                        + report.distribution.duration
-                        + report.join.wall
-                        + report.merge.wall),
+                    secs(
+                        report.topbuckets.duration
+                            + report.distribution.duration
+                            + report.join.wall
+                            + report.merge.wall,
+                    ),
                 ]);
             }
         }
-        print_table(
-            &["n", "strategy", "TopBuckets", "DTB", "Join", "Merge", "total"],
-            &rows,
-        );
+        print_table(&["n", "strategy", "TopBuckets", "DTB", "Join", "Merge", "total"], &rows);
         // Shape check: loose TopBuckets time <= brute-force where both ran.
         let mut by_key: std::collections::HashMap<(String, String), Duration> =
             std::collections::HashMap::new();

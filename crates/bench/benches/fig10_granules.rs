@@ -22,7 +22,8 @@ fn main() {
         "k = 100, |Ci| = 2*10^6, P = P1, loose; g in 5..160",
         "running time U-shaped in g (sweet spot ~40); pruning % grows with g; imbalance shrinks",
     );
-    let g_values: &[u32] = if scale.full { &[5, 10, 20, 40, 80, 160] } else { &[5, 10, 20, 40, 80] };
+    let g_values: &[u32] =
+        if scale.full { &[5, 10, 20, 40, 80, 160] } else { &[5, 10, 20, 40, 80] };
     println!("|Ci| -> {size}; g sweep {g_values:?}\n");
     let queries = vec![
         ("Qb,b", table1::q_bb(PredicateParams::P1)),
@@ -81,10 +82,7 @@ fn main() {
     println!("\n(10b) Join-phase imbalance (max/avg reducer time):");
     print_table(&["g", "query", "imbalance"], &rows_imb);
     println!("\n(10c) Qo,m detailed running time and pruning:");
-    print_table(
-        &["g", "TopBuckets", "Distribution", "Join", "Merge", "%pruned"],
-        &rows_detail,
-    );
+    print_table(&["g", "TopBuckets", "Distribution", "Join", "Merge", "%pruned"], &rows_detail);
     // Shape check: pruning grows with g for Qo,m.
     let pruned: Vec<f64> = rows_detail
         .iter()

@@ -42,56 +42,28 @@ fn main() {
     let mut rows = Vec::new();
     for (paper, size) in &sizes {
         let collections = uniform_collections(3, *size, 7001);
-        let am = run_all_matrix(
-            &table1::q_bb(PredicateParams::PB),
-            &collections,
-            k,
-            4,
-            &cluster,
-        )
-        .expect("All-Matrix")
-        .total_wall();
+        let am = run_all_matrix(&table1::q_bb(PredicateParams::PB), &collections, k, 4, &cluster)
+            .expect("All-Matrix")
+            .total_wall();
         let pb = run_tkij(&table1::q_bb(PredicateParams::PB), *size, 7001);
         let p1 = run_tkij(&table1::q_bb(PredicateParams::P1), *size, 7001);
-        rows.push(vec![
-            format!("{paper}->{size}"),
-            secs(am),
-            secs(pb),
-            secs(p1),
-        ]);
+        rows.push(vec![format!("{paper}->{size}"), secs(am), secs(pb), secs(p1)]);
     }
     print_table(&["|Ci| paper->run", "AllMatrix-PB", "TKIJ-PB", "TKIJ-P1"], &rows);
 
     // (11b) Qo,o and (11c) Qs,m.
     for (fig, qname, q_pb, q_p1) in [
-        (
-            "(11b)",
-            "Qo,o",
-            table1::q_oo(PredicateParams::PB),
-            table1::q_oo(PredicateParams::P1),
-        ),
-        (
-            "(11c)",
-            "Qs,m",
-            table1::q_sm(PredicateParams::PB),
-            table1::q_sm(PredicateParams::P1),
-        ),
+        ("(11b)", "Qo,o", table1::q_oo(PredicateParams::PB), table1::q_oo(PredicateParams::P1)),
+        ("(11c)", "Qs,m", table1::q_sm(PredicateParams::PB), table1::q_sm(PredicateParams::P1)),
     ] {
         println!("\n{fig} {qname} — RCCIS-PB vs TKIJ-PB vs TKIJ-P1:");
         let mut rows = Vec::new();
         for (paper, size) in &sizes {
             let collections = uniform_collections(3, *size, 7002);
-            let rc = run_rccis(&q_pb, &collections, k, 24, &cluster)
-                .expect("RCCIS")
-                .total_wall();
+            let rc = run_rccis(&q_pb, &collections, k, 24, &cluster).expect("RCCIS").total_wall();
             let pb = run_tkij(&q_pb, *size, 7002);
             let p1 = run_tkij(&q_p1, *size, 7002);
-            rows.push(vec![
-                format!("{paper}->{size}"),
-                secs(rc),
-                secs(pb),
-                secs(p1),
-            ]);
+            rows.push(vec![format!("{paper}->{size}"), secs(rc), secs(pb), secs(p1)]);
         }
         print_table(&["|Ci| paper->run", "RCCIS-PB", "TKIJ-PB", "TKIJ-P1"], &rows);
     }

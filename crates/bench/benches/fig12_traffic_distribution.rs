@@ -53,11 +53,7 @@ fn main() {
             } else {
                 0
             };
-            vec![
-                format!("<= {:>5.1}%", b.upper_pct),
-                format!("{:>9.5}%", pct),
-                "#".repeat(log_bar),
-            ]
+            vec![format!("<= {:>5.1}%", b.upper_pct), format!("{:>9.5}%", pct), "#".repeat(log_bar)]
         })
         .collect();
     print_table(&["length", "#tuples", "(log)"], &rows);

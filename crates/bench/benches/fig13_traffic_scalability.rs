@@ -11,7 +11,9 @@
 
 use tkij_bench::{header, print_table, secs, Scale};
 use tkij_core::{Tkij, TkijConfig};
-use tkij_datagen::{build_connections, connections_to_collection, generate_packets, sample_packets, TrafficConfig};
+use tkij_datagen::{
+    build_connections, connections_to_collection, generate_packets, sample_packets, TrafficConfig,
+};
 use tkij_temporal::collection::CollectionId;
 use tkij_temporal::params::PredicateParams;
 use tkij_temporal::query::table1;
@@ -77,10 +79,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
-        &["sample", "|Ci|", "buckets", "query", "total", "TopBuckets", "%pruned"],
-        &rows,
-    );
+    print_table(&["sample", "|Ci|", "buckets", "query", "total", "TopBuckets", "%pruned"], &rows);
     println!(
         "\nshape check: non-empty buckets grow with the sample (paper: 151 -> 296) and Qs,f,m's TopBuckets share dominates."
     );

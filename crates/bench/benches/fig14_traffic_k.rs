@@ -8,7 +8,9 @@
 
 use tkij_bench::{header, print_table, secs, Scale};
 use tkij_core::{Tkij, TkijConfig};
-use tkij_datagen::{build_connections, connections_to_collection, generate_packets, sample_packets, TrafficConfig};
+use tkij_datagen::{
+    build_connections, connections_to_collection, generate_packets, sample_packets, TrafficConfig,
+};
 use tkij_temporal::collection::CollectionId;
 use tkij_temporal::params::PredicateParams;
 use tkij_temporal::query::table1;
@@ -37,11 +39,8 @@ fn main() {
     // k = 10^5 against a heavily scaled-down dataset is disproportionately
     // deep (the paper's 10^5 sits against |Ci| = 1.03M); keep it for
     // paper-scale runs.
-    let ks: &[usize] = if scale.full {
-        &[10, 100, 1_000, 10_000, 100_000]
-    } else {
-        &[10, 100, 1_000, 10_000]
-    };
+    let ks: &[usize] =
+        if scale.full { &[10, 100, 1_000, 10_000, 100_000] } else { &[10, 100, 1_000, 10_000] };
     let queries = vec![
         ("Qb,b", table1::q_bb(PredicateParams::P3)),
         ("Qf,b", table1::q_fb(PredicateParams::P3)),

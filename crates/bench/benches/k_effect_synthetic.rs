@@ -30,11 +30,8 @@ fn main() {
         ("Qf,b", table1::q_fb(PredicateParams::P1)),
         ("Qo,m", table1::q_om(PredicateParams::P1)),
     ];
-    let ks: &[usize] = if scale.full {
-        &[10, 100, 1_000, 10_000, 100_000]
-    } else {
-        &[10, 100, 1_000, 10_000]
-    };
+    let ks: &[usize] =
+        if scale.full { &[10, 100, 1_000, 10_000, 100_000] } else { &[10, 100, 1_000, 10_000] };
     let mut rows = Vec::new();
     let mut stability_ok = true;
     for (name, q) in &queries {

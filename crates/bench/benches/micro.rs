@@ -21,9 +21,7 @@ use tkij_temporal::query::{table1, Query, QueryEdge};
 use tkij_temporal::result::{MatchTuple, TopK};
 
 fn sample_intervals(n: usize, seed: u64) -> Vec<Interval> {
-    uniform_collection(CollectionId(0), &SyntheticConfig::paper(n, seed))
-        .intervals()
-        .to_vec()
+    uniform_collection(CollectionId(0), &SyntheticConfig::paper(n, seed)).intervals().to_vec()
 }
 
 fn bench_scoring(c: &mut Criterion) {
@@ -128,8 +126,9 @@ fn bench_topbuckets(c: &mut Criterion) {
 
 fn assignment_fixture() -> (Query, Vec<BucketMatrix>, ComboSet) {
     let part = TimePartitioning::from_range(0, 64 * 100 - 1, 64).unwrap();
-    let intervals: Vec<Interval> =
-        (0..64).map(|g| Interval::new(g, g as i64 * 100 + 1, g as i64 * 100 + 50).unwrap()).collect();
+    let intervals: Vec<Interval> = (0..64)
+        .map(|g| Interval::new(g, g as i64 * 100 + 1, g as i64 * 100 + 50).unwrap())
+        .collect();
     let m = BucketMatrix::build(part, &intervals);
     let q = Query::new(
         vec![CollectionId(0), CollectionId(0)],

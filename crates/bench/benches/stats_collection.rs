@@ -26,9 +26,8 @@ fn main() {
     for (paper, size) in &sizes {
         for &g in &[20u32, 40] {
             let collections = uniform_collections(3, *size, 31415);
-            let (dataset, took) = tkij_bench::timed(|| {
-                collect_statistics(collections, g, &cluster).expect("stats")
-            });
+            let (dataset, took) =
+                tkij_bench::timed(|| collect_statistics(collections, g, &cluster).expect("stats"));
             rows.push(vec![
                 format!("{paper}->{size}"),
                 format!("g={g}"),
@@ -38,8 +37,5 @@ fn main() {
             ]);
         }
     }
-    print_table(
-        &["|Ci| paper->run", "g", "time", "buckets(C1)", "shuffled matrices"],
-        &rows,
-    );
+    print_table(&["|Ci| paper->run", "g", "time", "buckets(C1)", "shuffled matrices"], &rows);
 }

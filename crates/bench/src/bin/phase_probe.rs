@@ -13,8 +13,15 @@ fn main() {
     let dataset = collect_statistics(uniform_collections(3, 20_000, 4242), 20, &cluster).unwrap();
     eprintln!("prepare: {:?}", t.elapsed());
     let t = Instant::now();
-    let (selected, stats) = run_topbuckets(&q, &dataset.matrices, 100, Strategy::Loose, &cfg.solver, 6);
-    eprintln!("topbuckets: {:?} candidates={} selected={} solver_calls={}", t.elapsed(), stats.candidates, stats.selected, stats.solver_calls);
+    let (selected, stats) =
+        run_topbuckets(&q, &dataset.matrices, 100, Strategy::Loose, &cfg.solver, 6);
+    eprintln!(
+        "topbuckets: {:?} candidates={} selected={} solver_calls={}",
+        t.elapsed(),
+        stats.candidates,
+        stats.selected,
+        stats.solver_calls
+    );
     let t = Instant::now();
     let assignment = distribute(&selected, DistributionPolicy::Dtb, 24, &q, &dataset.matrices);
     eprintln!("distribute: {:?} shuffle={}", t.elapsed(), assignment.estimated_shuffle_records);

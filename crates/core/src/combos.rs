@@ -172,9 +172,7 @@ impl ComboSet {
         let mut idx: Vec<u32> = (0..self.len() as u32).collect();
         idx.sort_by(|&a, &b| {
             let (a, b) = (a as usize, b as usize);
-            self.nb_res[b]
-                .cmp(&self.nb_res[a])
-                .then_with(|| self.buckets(a).cmp(self.buckets(b)))
+            self.nb_res[b].cmp(&self.nb_res[a]).then_with(|| self.buckets(a).cmp(self.buckets(b)))
         });
         idx
     }
@@ -255,11 +253,7 @@ pub fn nb_res_of(per_vertex: &[VertexBuckets], indices: &[usize]) -> u64 {
 /// The query-vertex matrices view: vertex `v` uses the matrix of its
 /// collection.
 pub fn vertex_buckets(query: &Query, matrices: &[BucketMatrix]) -> Vec<VertexBuckets> {
-    query
-        .vertices
-        .iter()
-        .map(|cid| VertexBuckets::from_matrix(&matrices[cid.0 as usize]))
-        .collect()
+    query.vertices.iter().map(|cid| VertexBuckets::from_matrix(&matrices[cid.0 as usize])).collect()
 }
 
 #[cfg(test)]
@@ -361,11 +355,8 @@ mod tests {
 
     #[test]
     fn pruned_pct_math() {
-        let stats = TopBucketsStats {
-            total_results: 200,
-            selected_results: 50,
-            ..Default::default()
-        };
+        let stats =
+            TopBucketsStats { total_results: 200, selected_results: 50, ..Default::default() };
         assert!((stats.pruned_pct() - 75.0).abs() < 1e-12);
         assert_eq!(TopBucketsStats::default().pruned_pct(), 0.0);
     }

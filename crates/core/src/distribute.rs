@@ -96,9 +96,8 @@ pub fn distribute(
     let mut reducer_combos: Vec<Vec<u32>> = vec![Vec::new(); r];
     let mut reducer_results: Vec<u128> = vec![0; r];
     let mut assigned: HashMap<VertexBucket, Vec<u32>> = HashMap::new();
-    let bucket_count = |v: usize, b: BucketId| -> u64 {
-        matrices[query.vertices[v].0 as usize].count(b)
-    };
+    let bucket_count =
+        |v: usize, b: BucketId| -> u64 { matrices[query.vertices[v].0 as usize].count(b) };
 
     for &ci in &order {
         let ci = ci as usize;
@@ -168,10 +167,7 @@ fn get_reducer(
     let eligible =
         |j: usize| -> bool { (reducer_results[j] as f64) < 2.0 * avg_res || avg_res == 0.0 };
     // Lines 1–4: minimum number of assigned combinations among eligible.
-    let min_assigned = (0..r)
-        .filter(|&j| eligible(j))
-        .map(|j| reducer_combos[j].len())
-        .min();
+    let min_assigned = (0..r).filter(|&j| eligible(j)).map(|j| reducer_combos[j].len()).min();
     let Some(min_assigned) = min_assigned else {
         // Every reducer is past the cap: least-loaded fallback.
         return (0..r).min_by_key(|&j| (reducer_results[j], j)).expect("r ≥ 1");
@@ -179,15 +175,13 @@ fn get_reducer(
     // Lines 5–10: minimize the cost of input not yet present.
     let mut best = usize::MAX;
     let mut best_cost = u64::MAX;
-    for j in 0..r {
-        if !eligible(j) || reducer_combos[j].len() != min_assigned {
+    for (j, combos_j) in reducer_combos.iter().enumerate() {
+        if !eligible(j) || combos_j.len() != min_assigned {
             continue;
         }
         let mut cost = 0u64;
         for (v, &b) in buckets.iter().enumerate() {
-            let already = assigned
-                .get(&(v as u16, b))
-                .is_some_and(|rs| rs.contains(&(j as u32)));
+            let already = assigned.get(&(v as u16, b)).is_some_and(|rs| rs.contains(&(j as u32)));
             if !already {
                 cost += bucket_count(v, b);
             }

@@ -255,8 +255,7 @@ mod tests {
         report: &ExecutionReport,
         k: usize,
     ) {
-        let refs: Vec<_> =
-            q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
+        let refs: Vec<_> = q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
         let expected = naive_topk(q, &refs, k);
         assert_eq!(report.results.len(), expected.len(), "{name}");
         for (g, e) in report.results.iter().zip(&expected) {
@@ -350,7 +349,9 @@ mod tests {
         let q3 = table1::q_bb(PredicateParams::P1); // needs 3 collections
         assert!(tk.execute(&dataset, &q3, 5).is_err());
         let q2 = {
-            use tkij_temporal::{aggregate::Aggregation, collection::CollectionId, query::QueryEdge};
+            use tkij_temporal::{
+                aggregate::Aggregation, collection::CollectionId, query::QueryEdge,
+            };
             Query::new(
                 vec![CollectionId(0), CollectionId(1)],
                 vec![QueryEdge {
@@ -373,9 +374,8 @@ mod tests {
         let collections = uniform_collections(3, 60, 500);
         let q = table1::q_om(PredicateParams::P1);
         let pruned = Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4));
-        let unpruned = Tkij::new(
-            TkijConfig::default().with_granules(6).with_reducers(4).without_pruning(),
-        );
+        let unpruned =
+            Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4).without_pruning());
         let d1 = pruned.prepare(collections.clone()).unwrap();
         let d2 = unpruned.prepare(collections).unwrap();
         let r1 = pruned.execute(&d1, &q, 5).unwrap();
@@ -390,8 +390,7 @@ mod tests {
         assert_eq!(r2.topbuckets.selected, r2.topbuckets.candidates);
         assert!(r1.topbuckets.selected <= r2.topbuckets.selected);
         assert!(
-            r1.distribution.estimated_shuffle_records
-                <= r2.distribution.estimated_shuffle_records
+            r1.distribution.estimated_shuffle_records <= r2.distribution.estimated_shuffle_records
         );
     }
 

@@ -202,11 +202,9 @@ mod tests {
         let dataset = tk.prepare(uniform_collections(3, 30, 321)).unwrap();
         let q = table1::q_om(PredicateParams::P1);
         let tables = mod_tables(&dataset, 3);
-        let constraints =
-            [AttrConstraint { src: 0, dst: 1, predicate: AttrPredicate::Equal }];
+        let constraints = [AttrConstraint { src: 0, dst: 1, predicate: AttrPredicate::Equal }];
         let report = execute_hybrid(&tk, &dataset, &q, &tables, &constraints, 6).unwrap();
-        let refs: Vec<_> =
-            q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
+        let refs: Vec<_> = q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
         let expected = naive_topk_where(&q, &refs, 6, |t| t[0].id % 3 == t[1].id % 3);
         assert_eq!(report.results.len(), expected.len());
         for (g, e) in report.results.iter().zip(&expected) {
@@ -227,8 +225,7 @@ mod tests {
             AttrConstraint { src: 1, dst: 2, predicate: AttrPredicate::NotEqual },
         ];
         let report = execute_hybrid(&tk, &dataset, &q, &tables, &constraints, 5).unwrap();
-        let refs: Vec<_> =
-            q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
+        let refs: Vec<_> = q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
         let expected = naive_topk_where(&q, &refs, 5, |t| {
             t[0].id % 2 != t[1].id % 2 && t[1].id % 2 != t[2].id % 2
         });
@@ -259,7 +256,9 @@ mod tests {
         let tk = engine();
         let dataset = tk.prepare(uniform_collections(2, 10, 1)).unwrap();
         let q = {
-            use tkij_temporal::{aggregate::Aggregation, collection::CollectionId, query::QueryEdge};
+            use tkij_temporal::{
+                aggregate::Aggregation, collection::CollectionId, query::QueryEdge,
+            };
             Query::new(
                 vec![CollectionId(0), CollectionId(1)],
                 vec![QueryEdge {
@@ -285,7 +284,9 @@ mod tests {
         let tk = engine();
         let dataset = tk.prepare(uniform_collections(2, 10, 77)).unwrap();
         let q = {
-            use tkij_temporal::{aggregate::Aggregation, collection::CollectionId, query::QueryEdge};
+            use tkij_temporal::{
+                aggregate::Aggregation, collection::CollectionId, query::QueryEdge,
+            };
             Query::new(
                 vec![CollectionId(0), CollectionId(1)],
                 vec![QueryEdge {
@@ -301,8 +302,7 @@ mod tests {
         };
         // Empty tables: with a constraint, nothing qualifies.
         let tables: AttributeTables = vec![HashMap::new(), HashMap::new()];
-        let constraints =
-            [AttrConstraint { src: 0, dst: 1, predicate: AttrPredicate::Equal }];
+        let constraints = [AttrConstraint { src: 0, dst: 1, predicate: AttrPredicate::Equal }];
         let report = execute_hybrid(&tk, &dataset, &q, &tables, &constraints, 3).unwrap();
         assert!(report.results.is_empty());
     }

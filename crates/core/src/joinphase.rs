@@ -103,8 +103,7 @@ pub fn run_join_phase_with(
             for (r, records) in groups {
                 debug_assert_eq!(r as usize, p);
                 for VRec(v, iv) in records {
-                    let matrix =
-                        &dataset.matrices[query.vertices[v as usize].0 as usize];
+                    let matrix = &dataset.matrices[query.vertices[v as usize].0 as usize];
                     data.entry((v, matrix.bucket_of(&iv))).or_default().push(iv);
                 }
             }
@@ -213,16 +212,9 @@ mod tests {
         .unwrap();
         let cluster = ClusterConfig::default();
         let dataset = collect_statistics(collections, 5, &cluster).unwrap();
-        let (selected, _) = run_topbuckets(
-            &q,
-            &dataset.matrices,
-            4,
-            Strategy::Loose,
-            &SolverConfig::default(),
-            1,
-        );
-        let assignment =
-            distribute(&selected, DistributionPolicy::Dtb, 3, &q, &dataset.matrices);
+        let (selected, _) =
+            run_topbuckets(&q, &dataset.matrices, 4, Strategy::Loose, &SolverConfig::default(), 1);
+        let assignment = distribute(&selected, DistributionPolicy::Dtb, 3, &q, &dataset.matrices);
         let (_, metrics) = run_join_phase(&dataset, &q, &selected, &assignment, 4, &cluster);
         assert_eq!(
             metrics.total_shuffle_records(),
@@ -244,25 +236,16 @@ mod tests {
             vec![tkij_temporal::query::QueryEdge {
                 src: 0,
                 dst: 1,
-                predicate: tkij_temporal::predicate::TemporalPredicate::meets(
-                    PredicateParams::P1,
-                ),
+                predicate: tkij_temporal::predicate::TemporalPredicate::meets(PredicateParams::P1),
             }],
             tkij_temporal::aggregate::Aggregation::NormalizedSum,
         )
         .unwrap();
         let cluster = ClusterConfig::default();
         let dataset = collect_statistics(collections, 4, &cluster).unwrap();
-        let (selected, _) = run_topbuckets(
-            &q,
-            &dataset.matrices,
-            5,
-            Strategy::Loose,
-            &SolverConfig::default(),
-            1,
-        );
-        let assignment =
-            distribute(&selected, DistributionPolicy::Dtb, 2, &q, &dataset.matrices);
+        let (selected, _) =
+            run_topbuckets(&q, &dataset.matrices, 5, Strategy::Loose, &SolverConfig::default(), 1);
+        let assignment = distribute(&selected, DistributionPolicy::Dtb, 2, &q, &dataset.matrices);
         let (outputs, _) = run_join_phase(&dataset, &q, &selected, &assignment, 5, &cluster);
         let mut all = tkij_temporal::result::TopK::new(5);
         for o in outputs {

@@ -88,10 +88,8 @@ pub fn local_topk_join_with(
     let mut topk = TopK::new(k);
 
     // Index every shipped bucket once; reused across combinations.
-    let trees: HashMap<(u16, BucketId), RTree> = data
-        .iter()
-        .map(|(&key, intervals)| (key, RTree::bulk_load(intervals.clone())))
-        .collect();
+    let trees: HashMap<(u16, BucketId), RTree> =
+        data.iter().map(|(&key, intervals)| (key, RTree::bulk_load(intervals.clone()))).collect();
 
     // Access order: descending upper bound (paper §4).
     let mut order: Vec<u32> = combo_indices.to_vec();
@@ -197,15 +195,22 @@ impl JoinCx<'_> {
         // candidate falling below the (re-evaluated) requirement ends the
         // whole loop instead of being skipped.
         let mut candidates: Vec<(f64, Interval)> = Vec::new();
-        threshold_candidates(tree, &edge.predicate, &anchor_iv, anchor.anchor_side, needed.max(0.0), |c| {
-            let s = match anchor.anchor_side {
-                Side::Left => edge.predicate.score(&anchor_iv, c),
-                Side::Right => edge.predicate.score(c, &anchor_iv),
-            };
-            if s >= needed {
-                candidates.push((s, *c));
-            }
-        });
+        threshold_candidates(
+            tree,
+            &edge.predicate,
+            &anchor_iv,
+            anchor.anchor_side,
+            needed.max(0.0),
+            |c| {
+                let s = match anchor.anchor_side {
+                    Side::Left => edge.predicate.score(&anchor_iv, c),
+                    Side::Right => edge.predicate.score(c, &anchor_iv),
+                };
+                if s >= needed {
+                    candidates.push((s, *c));
+                }
+            },
+        );
         self.stats.candidates_visited += candidates.len() as u64;
         candidates.sort_by(|a, b| {
             b.0.total_cmp(&a.0)
@@ -269,8 +274,7 @@ impl JoinCx<'_> {
 
     /// Scores and offers a complete tuple.
     fn finish(&mut self) {
-        let tuple: Vec<Interval> =
-            self.tuple.iter().map(|t| t.expect("complete tuple")).collect();
+        let tuple: Vec<Interval> = self.tuple.iter().map(|t| t.expect("complete tuple")).collect();
         debug_assert_eq!(self.fixed.len(), self.query.edges.len());
         let mut scores = vec![0.0; self.query.edges.len()];
         for &(e, s) in &self.fixed {
@@ -295,22 +299,18 @@ mod tests {
     use tkij_temporal::params::PredicateParams;
     use tkij_temporal::query::{table1, Query};
 
+    type FullSetup = (ComboSet, Vec<u32>, HashMap<(u16, BucketId), Vec<Interval>>);
+
     /// Builds matrices, a full (unpruned) ComboSet with trivial bounds,
     /// and the complete data map for a single in-process "reducer".
-    fn full_setup(
-        query: &Query,
-        collections: &[IntervalCollection],
-        g: u32,
-    ) -> (ComboSet, Vec<u32>, HashMap<(u16, BucketId), Vec<Interval>>) {
+    fn full_setup(query: &Query, collections: &[IntervalCollection], g: u32) -> FullSetup {
         let (min, max) = collections
             .iter()
             .map(|c| c.time_range())
             .fold((i64::MAX, i64::MIN), |acc, r| (acc.0.min(r.0), acc.1.max(r.1)));
         let part = TimePartitioning::from_range(min, max, g).unwrap();
-        let matrices: Vec<BucketMatrix> = collections
-            .iter()
-            .map(|c| BucketMatrix::build(part, c.intervals()))
-            .collect();
+        let matrices: Vec<BucketMatrix> =
+            collections.iter().map(|c| BucketMatrix::build(part, c.intervals())).collect();
         let per_vertex = vertex_buckets(query, &matrices);
         let mut combos = ComboSet::new(query.n());
         crate::combos::enumerate_combos(&per_vertex, 0..per_vertex[0].len(), |idx| {
@@ -439,7 +439,7 @@ mod tests {
             c1.push(Interval::new(100 + i, 150, 160).unwrap()); // far bucket (3,3)
             c2.push(Interval::new(100 + i, 0, 10).unwrap()); // bucket (0,0)
         }
-        let collections = vec![
+        let collections = [
             IntervalCollection::new(CollectionId(0), c1).unwrap(),
             IntervalCollection::new(CollectionId(1), c2).unwrap(),
         ];
@@ -455,10 +455,8 @@ mod tests {
             tkij_temporal::aggregate::Aggregation::NormalizedSum,
         )
         .unwrap();
-        let matrices: Vec<BucketMatrix> = collections
-            .iter()
-            .map(|c| BucketMatrix::build(part, c.intervals()))
-            .collect();
+        let matrices: Vec<BucketMatrix> =
+            collections.iter().map(|c| BucketMatrix::build(part, c.intervals())).collect();
         // Hand-built Ω_{k,S}: the perfect-score combination first, then a
         // dominated one (honest UB 0.4 < the perfect 1.0 the first one
         // will realize).
@@ -477,10 +475,7 @@ mod tests {
         let (topk, stats) = local_topk_join(&q, &plan, 3, &selected, &indices, &data);
         assert_eq!(topk.len(), 3);
         assert!((topk.min_score().unwrap() - 1.0).abs() < 1e-9);
-        assert_eq!(
-            stats.combos_processed, 1,
-            "the UB-0.4 combination must be skipped: {stats:?}"
-        );
+        assert_eq!(stats.combos_processed, 1, "the UB-0.4 combination must be skipped: {stats:?}");
     }
 
     #[test]

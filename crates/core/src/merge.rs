@@ -65,11 +65,7 @@ mod tests {
 
     #[test]
     fn merges_to_global_best() {
-        let outputs = vec![
-            output(0, &[0.9, 0.5, 0.1]),
-            output(1, &[0.8, 0.7]),
-            output(2, &[]),
-        ];
+        let outputs = vec![output(0, &[0.9, 0.5, 0.1]), output(1, &[0.8, 0.7]), output(2, &[])];
         let (merged, metrics) = run_merge_phase(&outputs, 3, &ClusterConfig::default());
         let scores: Vec<f64> = merged.iter().map(|t| t.score).collect();
         assert_eq!(scores, vec![0.9, 0.8, 0.7]);

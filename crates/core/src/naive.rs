@@ -16,11 +16,8 @@ fn for_each_tuple(data: &[&IntervalCollection], mut visit: impl FnMut(&[Interval
         return;
     }
     let mut idx = vec![0usize; n];
-    let mut tuple: Vec<Interval> = idx
-        .iter()
-        .enumerate()
-        .map(|(v, &i)| data[v].intervals()[i])
-        .collect();
+    let mut tuple: Vec<Interval> =
+        idx.iter().enumerate().map(|(v, &i)| data[v].intervals()[i]).collect();
     loop {
         visit(&tuple);
         let mut v = n - 1;

@@ -85,9 +85,7 @@ pub fn collect_statistics(
             let mut local: Vec<Option<BucketMatrix>> = vec![None; m];
             for (c, iv) in chunk {
                 let c = *c as usize;
-                local[c]
-                    .get_or_insert_with(|| BucketMatrix::new(partitionings[c]))
-                    .insert(iv);
+                local[c].get_or_insert_with(|| BucketMatrix::new(partitionings[c])).insert(iv);
             }
             for (c, matrix) in local.into_iter().enumerate() {
                 if let Some(matrix) = matrix {
@@ -185,12 +183,9 @@ mod tests {
             &ClusterConfig { map_slots: 1, ..Default::default() },
         )
         .unwrap();
-        let many = collect_statistics(
-            vec![c0],
-            8,
-            &ClusterConfig { map_slots: 16, ..Default::default() },
-        )
-        .unwrap();
+        let many =
+            collect_statistics(vec![c0], 8, &ClusterConfig { map_slots: 16, ..Default::default() })
+                .unwrap();
         assert_eq!(few.matrices, many.matrices);
     }
 
@@ -204,8 +199,7 @@ mod tests {
     #[test]
     fn updates_keep_matrix_consistent() {
         let c0 = coll(0, &[(0, 10), (20, 30), (55, 60)]);
-        let mut prepared =
-            collect_statistics(vec![c0], 6, &ClusterConfig::default()).unwrap();
+        let mut prepared = collect_statistics(vec![c0], 6, &ClusterConfig::default()).unwrap();
         let added = Interval::new(77, 21, 29).unwrap();
         prepared.insert(0, added);
         assert_eq!(prepared.matrices[0].total(), 4);

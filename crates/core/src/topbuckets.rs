@@ -479,14 +479,8 @@ mod tests {
         let empty = BucketMatrix::new(part);
         let full = BucketMatrix::build(part, &[Interval::new(0, 1, 5).unwrap()]);
         let q = two_way_meets();
-        let (selected, stats) = run_topbuckets(
-            &q,
-            &[full, empty],
-            5,
-            Strategy::Loose,
-            &SolverConfig::default(),
-            1,
-        );
+        let (selected, stats) =
+            run_topbuckets(&q, &[full, empty], 5, Strategy::Loose, &SolverConfig::default(), 1);
         assert!(selected.is_empty());
         assert_eq!(stats.candidates, 0);
     }

@@ -32,7 +32,8 @@ impl SyntheticConfig {
 /// Generates one collection.
 pub fn uniform_collection(id: CollectionId, cfg: &SyntheticConfig) -> IntervalCollection {
     assert!(cfg.size > 0, "cannot generate an empty collection");
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let intervals = (0..cfg.size)
         .map(|i| {
             let start = rng.gen_range(cfg.start_range.0..=cfg.start_range.1);

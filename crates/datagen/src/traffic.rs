@@ -123,7 +123,7 @@ pub fn generate_packets(cfg: &TrafficConfig) -> Vec<Packet> {
         // Occasional long-lived keep-alive flows create the far tail of
         // Fig. 12b (max length ≫ average).
         if rng.gen::<f64>() < 0.001 {
-            let long_end = (end + rng.gen_range(10_000..40_000)).min(cfg.day - 1);
+            let long_end = (end + rng.gen_range(10_000i64..40_000)).min(cfg.day - 1);
             let mut t = end;
             while t < long_end {
                 t += rng.gen_range(1..CONNECTION_GAP);
@@ -152,14 +152,19 @@ pub fn build_connections(packets: &[Packet]) -> Vec<Connection> {
     let mut current: Option<Connection> = None;
     for p in sorted {
         match current.as_mut() {
-            Some(c) if c.client == p.client && c.server == p.server && p.ts - c.end <= CONNECTION_GAP => {
+            Some(c)
+                if c.client == p.client
+                    && c.server == p.server
+                    && p.ts - c.end <= CONNECTION_GAP =>
+            {
                 c.end = p.ts;
             }
             _ => {
                 if let Some(c) = current.take() {
                     connections.push(c);
                 }
-                current = Some(Connection { client: p.client, server: p.server, start: p.ts, end: p.ts });
+                current =
+                    Some(Connection { client: p.client, server: p.server, start: p.ts, end: p.ts });
             }
         }
     }

@@ -22,7 +22,14 @@ impl GridIndex {
     pub fn build(items: Vec<Interval>, cell: i64) -> Self {
         let cell = cell.max(1);
         if items.is_empty() {
-            return GridIndex { cell, origin: (0, 0), cols: 1, rows: 1, cells: vec![Vec::new()], len: 0 };
+            return GridIndex {
+                cell,
+                origin: (0, 0),
+                cols: 1,
+                rows: 1,
+                cells: vec![Vec::new()],
+                len: 0,
+            };
         }
         let min_s = items.iter().map(|i| i.start).min().expect("non-empty");
         let max_s = items.iter().map(|i| i.start).max().expect("non-empty");

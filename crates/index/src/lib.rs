@@ -60,7 +60,8 @@ mod tests {
         // intervals starting in [96, 104].
         let p = PredicateParams::new(4, 8, 0, 0);
         let pred = TemporalPredicate::meets(p);
-        let items: Vec<Interval> = (0..100).map(|i| iv(i, i as i64 * 3, i as i64 * 3 + 50)).collect();
+        let items: Vec<Interval> =
+            (0..100).map(|i| iv(i, i as i64 * 3, i as i64 * 3 + 50)).collect();
         let tree = RTree::bulk_load(items.clone());
         let anchor = iv(1000, 0, 100);
         let mut got = Vec::new();

@@ -248,7 +248,9 @@ mod tests {
     }
 
     fn sample(n: u64) -> Vec<Interval> {
-        (0..n).map(|i| iv(i, (i as i64 * 37) % 500, (i as i64 * 37) % 500 + (i as i64 % 40))).collect()
+        (0..n)
+            .map(|i| iv(i, (i as i64 * 37) % 500, (i as i64 * 37) % 500 + (i as i64 % 40)))
+            .collect()
     }
 
     #[test]

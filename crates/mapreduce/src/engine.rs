@@ -65,11 +65,7 @@ where
         }
     })
     .expect("worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every task ran"))
-        .collect()
+    results.into_inner().into_iter().map(|o| o.expect("every task ran")).collect()
 }
 
 /// Executes one Map-Reduce job.
@@ -82,6 +78,13 @@ where
 ///   sorted ascending, and every partition is reduced (possibly empty),
 ///   mirroring Hadoop semantics.
 ///
+/// Timed output of one map task: its duration plus one emit buffer per
+/// reduce partition.
+type MapTaskOutput<K, V> = (Duration, Vec<Vec<(K, V)>>);
+
+/// A reduce partition's grouped input, consumed exactly once by its task.
+type GroupedPartition<K, V> = Mutex<Option<Vec<(K, Vec<V>)>>>;
+
 /// Returns the concatenated reducer outputs (partition order) and the
 /// job's [`JobMetrics`].
 #[allow(clippy::too_many_arguments)]
@@ -108,15 +111,14 @@ where
     let chunk = inputs.len().div_ceil(num_map_tasks).max(1);
 
     // ---- Map wave -------------------------------------------------------
-    let map_results: Vec<(Duration, Vec<Vec<(K, V)>>)> =
-        run_tasks(num_map_tasks, cfg.worker_threads, |t| {
-            let lo = (t * chunk).min(inputs.len());
-            let hi = ((t + 1) * chunk).min(inputs.len());
-            let mut em = Emitter::new(num_partitions, &partitioner);
-            let started = Instant::now();
-            mapper(t, &inputs[lo..hi], &mut em);
-            (started.elapsed(), em.buffers)
-        });
+    let map_results: Vec<MapTaskOutput<K, V>> = run_tasks(num_map_tasks, cfg.worker_threads, |t| {
+        let lo = (t * chunk).min(inputs.len());
+        let hi = ((t + 1) * chunk).min(inputs.len());
+        let mut em = Emitter::new(num_partitions, &partitioner);
+        let started = Instant::now();
+        mapper(t, &inputs[lo..hi], &mut em);
+        (started.elapsed(), em.buffers)
+    });
 
     let mut map_durations = Vec::with_capacity(num_map_tasks);
     let mut map_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(num_map_tasks);
@@ -156,7 +158,7 @@ where
         .collect();
 
     // ---- Reduce wave ----------------------------------------------------
-    let grouped_slots: Vec<Mutex<Option<Vec<(K, Vec<V>)>>>> =
+    let grouped_slots: Vec<GroupedPartition<K, V>> =
         grouped.into_iter().map(|g| Mutex::new(Some(g))).collect();
     let reduce_results: Vec<(Duration, Vec<R>)> =
         run_tasks(num_partitions, cfg.worker_threads, |p| {
@@ -189,12 +191,8 @@ mod tests {
 
     /// Word-count over small documents, the canonical smoke test.
     fn word_count(threads: usize) -> (Vec<(String, u64)>, JobMetrics) {
-        let docs = vec![
-            "a b a".to_string(),
-            "b c".to_string(),
-            "a c c".to_string(),
-            "d".to_string(),
-        ];
+        let docs =
+            vec!["a b a".to_string(), "b c".to_string(), "a c c".to_string(), "d".to_string()];
         let cfg = ClusterConfig { worker_threads: threads, ..Default::default() };
         run_map_reduce(
             &docs,
@@ -208,12 +206,7 @@ mod tests {
                 }
             },
             |k| (k.as_bytes()[0] as usize) % 3,
-            |_, groups| {
-                groups
-                    .into_iter()
-                    .map(|(k, vs)| (k, vs.iter().sum::<u64>()))
-                    .collect()
-            },
+            |_, groups| groups.into_iter().map(|(k, vs)| (k, vs.iter().sum::<u64>())).collect(),
             &cfg,
         )
     }
@@ -222,15 +215,7 @@ mod tests {
     fn word_count_is_correct() {
         let (mut out, metrics) = word_count(0);
         out.sort();
-        assert_eq!(
-            out,
-            vec![
-                ("a".into(), 3),
-                ("b".into(), 2),
-                ("c".into(), 3),
-                ("d".into(), 1)
-            ]
-        );
+        assert_eq!(out, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 3), ("d".into(), 1)]);
         assert_eq!(metrics.total_shuffle_records(), 9, "one record per word");
         assert_eq!(metrics.map_durations.len(), 2);
         assert_eq!(metrics.reduce_durations.len(), 3);
@@ -346,8 +331,7 @@ mod tests {
         };
         for _ in 0..30 {
             let n = (next() % 200) as usize;
-            let data: Vec<(u64, u64)> =
-                (0..n).map(|_| (next() % 17, next() % 1000)).collect();
+            let data: Vec<(u64, u64)> = (0..n).map(|_| (next() % 17, next() % 1000)).collect();
             let splits = (next() % 8 + 1) as usize;
             let parts = (next() % 5 + 1) as usize;
             let threads = (next() % 4) as usize;

@@ -81,10 +81,7 @@ pub fn list_schedule_makespan(tasks: &[Duration], slots: usize) -> Duration {
     let slots = slots.max(1);
     let mut loads = vec![Duration::ZERO; slots];
     for &t in tasks {
-        let min = loads
-            .iter_mut()
-            .min_by_key(|d| **d)
-            .expect("slots ≥ 1");
+        let min = loads.iter_mut().min_by_key(|d| **d).expect("slots ≥ 1");
         *min += t;
     }
     loads.into_iter().max().unwrap_or_default()
@@ -127,10 +124,7 @@ mod tests {
 
     #[test]
     fn imbalance_max_over_avg() {
-        let m = JobMetrics {
-            reduce_durations: vec![ms(10), ms(20), ms(30)],
-            ..Default::default()
-        };
+        let m = JobMetrics { reduce_durations: vec![ms(10), ms(20), ms(30)], ..Default::default() };
         assert_eq!(m.max_reduce(), ms(30));
         assert_eq!(m.avg_reduce(), ms(20));
         assert!((m.imbalance() - 1.5).abs() < 1e-9);

@@ -83,7 +83,12 @@ pub fn solve(problem: &BoundsProblem<'_>, cfg: &SolverConfig) -> ScoreBounds {
     // from a predicate's sensitive region: everything scores 0 or 1).
     let (lo, hi) = problem.enclosure(&problem.boxes);
     if hi - lo <= cfg.eps {
-        return ScoreBounds { lb: lo.clamp(0.0, 1.0), ub: hi.clamp(0.0, 1.0), nodes: 0, tight: true };
+        return ScoreBounds {
+            lb: lo.clamp(0.0, 1.0),
+            ub: hi.clamp(0.0, 1.0),
+            nodes: 0,
+            tight: true,
+        };
     }
     ScoreBounds::from_outcomes(bnb::minimize(problem, cfg), bnb::maximize(problem, cfg))
 }

@@ -67,11 +67,8 @@ impl<'q> BoundsProblem<'q> {
     /// Evaluates the aggregated score at a concrete point.
     pub fn eval(&self, point: &[Interval]) -> f64 {
         debug_assert_eq!(point.len(), self.boxes.len());
-        let scores: Vec<f64> = self
-            .edges
-            .iter()
-            .map(|e| e.predicate.score(&point[e.left], &point[e.right]))
-            .collect();
+        let scores: Vec<f64> =
+            self.edges.iter().map(|e| e.predicate.score(&point[e.left], &point[e.right])).collect();
         self.aggregation.eval(&scores)
     }
 

@@ -26,9 +26,7 @@ impl Aggregation {
     pub fn eval(&self, scores: &[f64]) -> f64 {
         assert!(!scores.is_empty(), "aggregation over zero edges");
         match self {
-            Aggregation::NormalizedSum => {
-                scores.iter().sum::<f64>() / scores.len() as f64
-            }
+            Aggregation::NormalizedSum => scores.iter().sum::<f64>() / scores.len() as f64,
             Aggregation::WeightedSum(w) => {
                 assert_eq!(w.len(), scores.len(), "weight/edge arity mismatch");
                 let total: f64 = w.iter().sum();

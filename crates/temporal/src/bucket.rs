@@ -70,10 +70,7 @@ impl BucketMatrix {
     /// The bucket an interval falls into.
     #[inline]
     pub fn bucket_of(&self, iv: &Interval) -> BucketId {
-        BucketId::new(
-            self.partitioning.granule_of(iv.start),
-            self.partitioning.granule_of(iv.end),
-        )
+        BucketId::new(self.partitioning.granule_of(iv.start), self.partitioning.granule_of(iv.end))
     }
 
     /// Records one interval.
@@ -112,9 +109,11 @@ impl BucketMatrix {
     /// deterministic (row-major) order.
     pub fn nonempty(&self) -> impl Iterator<Item = (BucketId, u64)> + '_ {
         let g = self.g();
-        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(move |(i, &c)| {
-            (BucketId::new(i as u32 / g, i as u32 % g), c)
-        })
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (BucketId::new(i as u32 / g, i as u32 % g), c))
     }
 
     /// Number of non-empty buckets (the quantity §4.3.2 reports: 151
@@ -160,10 +159,8 @@ mod tests {
 
     #[test]
     fn build_counts_by_bucket() {
-        let m = BucketMatrix::build(
-            part(),
-            &[iv(0, 5, 8), iv(1, 5, 15), iv(2, 7, 12), iv(3, 95, 99)],
-        );
+        let m =
+            BucketMatrix::build(part(), &[iv(0, 5, 8), iv(1, 5, 15), iv(2, 7, 12), iv(3, 95, 99)]);
         assert_eq!(m.count(BucketId::new(0, 0)), 1);
         assert_eq!(m.count(BucketId::new(0, 1)), 2);
         assert_eq!(m.count(BucketId::new(9, 9)), 1);
@@ -176,10 +173,7 @@ mod tests {
     fn nonempty_iterates_in_row_major_order() {
         let m = BucketMatrix::build(part(), &[iv(0, 95, 99), iv(1, 5, 15), iv(2, 5, 8)]);
         let buckets: Vec<BucketId> = m.nonempty().map(|(b, _)| b).collect();
-        assert_eq!(
-            buckets,
-            vec![BucketId::new(0, 0), BucketId::new(0, 1), BucketId::new(9, 9)]
-        );
+        assert_eq!(buckets, vec![BucketId::new(0, 0), BucketId::new(0, 1), BucketId::new(9, 9)]);
     }
 
     #[test]

@@ -115,10 +115,8 @@ impl IntervalCollection {
     pub fn read_text<R: BufRead>(id: CollectionId, reader: R) -> Result<Self, TemporalError> {
         let mut intervals = Vec::new();
         for (i, line) in reader.lines().enumerate() {
-            let line = line.map_err(|e| TemporalError::Parse {
-                line: i + 1,
-                message: e.to_string(),
-            })?;
+            let line =
+                line.map_err(|e| TemporalError::Parse { line: i + 1, message: e.to_string() })?;
             let trimmed = line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
@@ -171,11 +169,8 @@ mod tests {
     }
 
     fn sample() -> IntervalCollection {
-        IntervalCollection::new(
-            CollectionId(0),
-            vec![iv(0, 10, 20), iv(1, 5, 6), iv(2, 30, 70)],
-        )
-        .unwrap()
+        IntervalCollection::new(CollectionId(0), vec![iv(0, 10, 20), iv(1, 5, 6), iv(2, 30, 70)])
+            .unwrap()
     }
 
     #[test]

@@ -111,9 +111,8 @@ impl EndpointExpr {
         // Merge like terms (tiny vectors; quadratic is fine and allocation-free).
         let mut merged: Vec<Term> = Vec::with_capacity(terms.len());
         for t in terms {
-            if let Some(m) = merged
-                .iter_mut()
-                .find(|m| m.side == t.side && m.endpoint == t.endpoint)
+            if let Some(m) =
+                merged.iter_mut().find(|m| m.side == t.side && m.endpoint == t.endpoint)
             {
                 m.coeff += t.coeff;
             } else {
@@ -155,11 +154,7 @@ impl EndpointExpr {
     /// Range of the expression when each endpoint independently ranges over
     /// the given boxes (`[start_lo, start_hi]`, `[end_lo, end_hi]` per
     /// side). Exact because the expression is affine.
-    pub fn range(
-        &self,
-        left: &EndpointBox,
-        right: &EndpointBox,
-    ) -> (i64, i64) {
+    pub fn range(&self, left: &EndpointBox, right: &EndpointBox) -> (i64, i64) {
         let mut lo = self.constant;
         let mut hi = self.constant;
         for t in &self.terms {
@@ -341,7 +336,8 @@ mod tests {
         assert!(d.terms.is_empty());
         assert_eq!(d.eval(&x, &y), 5);
         // len(y) − 10·len(x) keeps 4 terms and evaluates consistently.
-        let d = EndpointExpr::length(Side::Right).minus(&EndpointExpr::length(Side::Left).scaled(10));
+        let d =
+            EndpointExpr::length(Side::Right).minus(&EndpointExpr::length(Side::Left).scaled(10));
         assert_eq!(d.eval(&x, &y), 15 - 100);
         assert_eq!(d.terms.len(), 4);
     }

@@ -82,10 +82,7 @@ impl Interval {
         let start = next("start")?;
         let end = next("end")?;
         if parts.next().is_some() {
-            return Err(TemporalError::Parse {
-                line: line_no,
-                message: "trailing fields".into(),
-            });
+            return Err(TemporalError::Parse { line: line_no, message: "trailing fields".into() });
         }
         Interval::new(id, start, end)
     }

@@ -54,10 +54,8 @@ impl PredicateParams {
     };
 
     /// Table 2, row PB: the Boolean interpretation `(0, 0)`, `(0, 0)`.
-    pub const PB: PredicateParams = PredicateParams {
-        equals: Tolerance::ZERO,
-        greater: Tolerance::ZERO,
-    };
+    pub const PB: PredicateParams =
+        PredicateParams { equals: Tolerance::ZERO, greater: Tolerance::ZERO };
 
     /// Whether this is a Boolean (step-function) parameterization: with
     /// `PB`, a scored predicate returns exactly `1.0` on tuples satisfying
@@ -68,12 +66,7 @@ impl PredicateParams {
 
     /// The presets of Table 2 with their paper names, for harness loops.
     pub fn table2() -> [(&'static str, PredicateParams); 4] {
-        [
-            ("P1", Self::P1),
-            ("P2", Self::P2),
-            ("P3", Self::P3),
-            ("PB", Self::PB),
-        ]
+        [("P1", Self::P1), ("P2", Self::P2), ("P3", Self::P3), ("PB", Self::PB)]
     }
 }
 

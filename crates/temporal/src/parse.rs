@@ -58,11 +58,7 @@ pub fn predicate_kind(name: &str) -> Option<PredicateKind> {
 ///
 /// `params` applies to every predicate; `avg` feeds `justBefore` /
 /// `shiftMeets` (pass the collection's average length, or 0 when unused).
-pub fn parse_query(
-    text: &str,
-    params: PredicateParams,
-    avg: i64,
-) -> Result<Query, TemporalError> {
+pub fn parse_query(text: &str, params: PredicateParams, avg: i64) -> Result<Query, TemporalError> {
     let mut edges: Vec<QueryEdge> = Vec::new();
     let mut max_vertex = 0usize;
     for (i, raw) in split_terms(text).into_iter().enumerate() {
@@ -71,24 +67,21 @@ pub fn parse_query(
             continue;
         }
         let err = |msg: String| TemporalError::Parse { line: i + 1, message: msg };
-        let open = term
-            .find('(')
-            .ok_or_else(|| err(format!("expected `pred(i, j)`, got `{term}`")))?;
+        let open =
+            term.find('(').ok_or_else(|| err(format!("expected `pred(i, j)`, got `{term}`")))?;
         if !term.ends_with(')') {
             return Err(err(format!("missing `)` in `{term}`")));
         }
         let name = term[..open].trim();
-        let kind = predicate_kind(name)
-            .ok_or_else(|| err(format!("unknown predicate `{name}`")))?;
+        let kind =
+            predicate_kind(name).ok_or_else(|| err(format!("unknown predicate `{name}`")))?;
         let args: Vec<&str> = term[open + 1..term.len() - 1].split(',').collect();
         if args.len() != 2 {
             return Err(err(format!("`{name}` takes exactly 2 vertices")));
         }
         let parse_vertex = |s: &str| -> Result<usize, TemporalError> {
-            let v: usize = s
-                .trim()
-                .parse()
-                .map_err(|e| err(format!("bad vertex `{}`: {e}", s.trim())))?;
+            let v: usize =
+                s.trim().parse().map_err(|e| err(format!("bad vertex `{}`: {e}", s.trim())))?;
             if v == 0 {
                 return Err(err("vertices are 1-based".into()));
             }

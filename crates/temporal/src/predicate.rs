@@ -114,10 +114,8 @@ impl Primitive {
             PrimitiveKind::Equals => self.tol.equals_region(v),
             PrimitiveKind::Greater => self.tol.greater_region(v),
         };
-        let (dlo, dhi) = (
-            region.lo.unwrap_or(f64::NEG_INFINITY),
-            region.hi.unwrap_or(f64::INFINITY),
-        );
+        let (dlo, dhi) =
+            (region.lo.unwrap_or(f64::NEG_INFINITY), region.hi.unwrap_or(f64::INFINITY));
         // coeff·f ∈ [dlo − K, dhi − K]
         let (flo, fhi) = if coeff > 0 {
             (dlo - k as f64, dhi - k as f64)
@@ -615,10 +613,7 @@ impl TemporalPredicate {
     /// Panics for the extended predicates (`justBefore`, `shiftMeets`,
     /// `sparks`), which have no named inverse in the algebra.
     pub fn inverse(&self) -> Self {
-        let kind = self
-            .kind
-            .inverse()
-            .unwrap_or_else(|| panic!("{self} has no inverse relation"));
+        let kind = self.kind.inverse().unwrap_or_else(|| panic!("{self} has no inverse relation"));
         TemporalPredicate {
             kind,
             boolean: self
@@ -845,11 +840,17 @@ mod tests {
         let p = PredicateParams::P1;
         let x = iv(0, 10, 20);
         assert!(TemporalPredicate::before(p).holds(&x, &iv(1, 25, 30)));
-        assert!(!TemporalPredicate::before(p).holds(&x, &iv(1, 20, 30)), "touching is meets, not before");
+        assert!(
+            !TemporalPredicate::before(p).holds(&x, &iv(1, 20, 30)),
+            "touching is meets, not before"
+        );
         assert!(TemporalPredicate::meets(p).holds(&x, &iv(1, 20, 30)));
         assert!(TemporalPredicate::equals(p).holds(&x, &iv(1, 10, 20)));
         assert!(TemporalPredicate::overlaps(p).holds(&x, &iv(1, 15, 30)));
-        assert!(!TemporalPredicate::overlaps(p).holds(&x, &iv(1, 10, 30)), "needs strict start order");
+        assert!(
+            !TemporalPredicate::overlaps(p).holds(&x, &iv(1, 10, 30)),
+            "needs strict start order"
+        );
         assert!(TemporalPredicate::contains(p).holds(&x, &iv(1, 12, 18)));
         assert!(TemporalPredicate::starts(p).holds(&x, &iv(1, 10, 25)));
         assert!(TemporalPredicate::finished_by(p).holds(&x, &iv(1, 15, 20)));

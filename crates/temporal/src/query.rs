@@ -121,10 +121,7 @@ impl Query {
     /// Per-edge scores of a concrete tuple (indexed like `self.edges`).
     pub fn edge_scores(&self, tuple: &[Interval]) -> Vec<f64> {
         debug_assert_eq!(tuple.len(), self.n());
-        self.edges
-            .iter()
-            .map(|e| e.predicate.score(&tuple[e.src], &tuple[e.dst]))
-            .collect()
+        self.edges.iter().map(|e| e.predicate.score(&tuple[e.src], &tuple[e.dst])).collect()
     }
 
     /// Aggregated score `S` of a concrete tuple.
@@ -134,9 +131,7 @@ impl Query {
 
     /// Boolean satisfaction: every edge predicate holds crisply.
     pub fn holds_boolean(&self, tuple: &[Interval]) -> bool {
-        self.edges
-            .iter()
-            .all(|e| e.predicate.holds(&tuple[e.src], &tuple[e.dst]))
+        self.edges.iter().all(|e| e.predicate.holds(&tuple[e.src], &tuple[e.dst]))
     }
 
     /// Plans a left-deep vertex order for local evaluation: each step binds
@@ -278,7 +273,12 @@ pub mod table1 {
         Query::new(vertices, edges, Aggregation::NormalizedSum).expect("valid chain query")
     }
 
-    fn star(kind: crate::predicate::PredicateKind, n: usize, p: PredicateParams, avg: i64) -> Query {
+    fn star(
+        kind: crate::predicate::PredicateKind,
+        n: usize,
+        p: PredicateParams,
+        avg: i64,
+    ) -> Query {
         assert!(n >= 2);
         let vertices = (0..n as u32).map(CollectionId).collect();
         let edges = (1..n)

@@ -30,10 +30,7 @@ impl MatchTuple {
     /// Total order: better first (higher score, then lexicographically
     /// smaller id vector — an arbitrary but deterministic tie-break).
     pub fn rank_cmp(&self, other: &Self) -> Ordering {
-        other
-            .score
-            .total_cmp(&self.score)
-            .then_with(|| self.ids.cmp(&other.ids))
+        other.score.total_cmp(&self.score).then_with(|| self.ids.cmp(&other.ids))
     }
 }
 
@@ -208,8 +205,7 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential_offers() {
-        let tuples: Vec<MatchTuple> =
-            (0..20).map(|i| t(&[i], (i as f64 * 7.0) % 1.0)).collect();
+        let tuples: Vec<MatchTuple> = (0..20).map(|i| t(&[i], (i as f64 * 7.0) % 1.0)).collect();
         let mut a = TopK::new(5);
         let mut b = TopK::new(5);
         let mut all = TopK::new(5);

@@ -36,8 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = engine.prepare(collections)?;
 
     for (label, query) in [
-        ("Q{jB,jB} — chains of closely-following connections", table1::q_jbjb(PredicateParams::P3, avg)),
-        ("Q{sM,sM} — chains separated by the average delay", table1::q_smsm(PredicateParams::P3, avg)),
+        (
+            "Q{jB,jB} — chains of closely-following connections",
+            table1::q_jbjb(PredicateParams::P3, avg),
+        ),
+        (
+            "Q{sM,sM} — chains separated by the average delay",
+            table1::q_smsm(PredicateParams::P3, avg),
+        ),
     ] {
         let report = engine.execute(&dataset, &query, 5)?;
         println!("\n{label}");

@@ -38,11 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = PredicateParams::new(0, 4, 0, 0);
     let query = Query::new(
         vec![CollectionId(0), CollectionId(1)],
-        vec![QueryEdge {
-            src: 0,
-            dst: 1,
-            predicate: TemporalPredicate::meets(params),
-        }],
+        vec![QueryEdge { src: 0, dst: 1, predicate: TemporalPredicate::meets(params) }],
         Aggregation::NormalizedSum,
     )?;
 
@@ -52,13 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("top-3 'x almost meets y' pairs:");
     for (rank, t) in report.results.iter().enumerate() {
-        println!(
-            "  #{} (x{}, y{})  score {:.2}",
-            rank + 1,
-            t.ids[0],
-            t.ids[1],
-            t.score
-        );
+        println!("  #{} (x{}, y{})  score {:.2}", rank + 1, t.ids[0], t.ids[1], t.score);
     }
     println!("\nexecution: {}", report.phase_line());
     println!(

@@ -18,9 +18,9 @@ fn machine_log(id: u32, n: usize, seed: u64) -> IntervalCollection {
     let intervals = (0..n)
         .map(|i| {
             // Tasks run 5–120 ticks with 0–20 ticks of idle time between.
-            t += rng.gen_range(0..=20);
+            t += rng.gen_range(0i64..=20);
             let start = t;
-            t += rng.gen_range(5..=120);
+            t += rng.gen_range(5i64..=120);
             Interval::new_unchecked(i as u64, start, t)
         })
         .collect();
@@ -28,8 +28,7 @@ fn machine_log(id: u32, n: usize, seed: u64) -> IntervalCollection {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let collections =
-        vec![machine_log(0, 800, 1), machine_log(1, 800, 2), machine_log(2, 800, 3)];
+    let collections = vec![machine_log(0, 800, 1), machine_log(1, 800, 2), machine_log(2, 800, 3)];
 
     // Chains of tasks where each stage starts roughly as the previous one
     // finishes (λ = 2 tolerates small clock skew, as the intro motivates).

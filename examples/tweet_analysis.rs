@@ -21,7 +21,7 @@ fn hashtag_lifespans(id: u32, n: usize, seed: u64) -> IntervalCollection {
         .map(|i| {
             let start = rng.gen_range(0..day);
             let len = if rng.gen::<f64>() < 0.08 {
-                rng.gen_range(3_600..36_000) // viral: hours
+                rng.gen_range(3_600i64..36_000) // viral: hours
             } else {
                 rng.gen_range(60..1_800) // ephemeral: minutes
             };
@@ -53,11 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("top spark pairs (short tag igniting a long one):");
     let lookup = |id: u64| {
-        *dataset.collections[0]
-            .intervals()
-            .iter()
-            .find(|iv| iv.id == id)
-            .expect("result ids exist")
+        *dataset.collections[0].intervals().iter().find(|iv| iv.id == id).expect("result ids exist")
     };
     for t in &report.results {
         let x = lookup(t.ids[0]);

@@ -50,7 +50,7 @@ pub mod prelude {
         collect_statistics, naive_boolean, naive_topk, DistributionPolicy, ExecutionReport,
         PreparedDataset, Strategy, Tkij, TkijConfig,
     };
-    pub use tkij_datagen::{uniform_collections, traffic_collection, TrafficConfig};
+    pub use tkij_datagen::{traffic_collection, uniform_collections, TrafficConfig};
     pub use tkij_mapreduce::ClusterConfig;
     pub use tkij_temporal::{
         query::table1, Aggregation, CollectionId, Interval, IntervalCollection, MatchTuple,

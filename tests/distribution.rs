@@ -15,14 +15,8 @@ fn setup(seed: u64, size: usize) -> (Tkij, PreparedDataset, Query) {
 #[test]
 fn assignment_invariants_hold_for_both_policies() {
     let (_, dataset, q) = setup(11, 150);
-    let (selected, _) = run_topbuckets(
-        &q,
-        &dataset.matrices,
-        100,
-        Strategy::Loose,
-        &SolverConfig::default(),
-        2,
-    );
+    let (selected, _) =
+        run_topbuckets(&q, &dataset.matrices, 100, Strategy::Loose, &SolverConfig::default(), 2);
     for policy in [DistributionPolicy::Dtb, DistributionPolicy::Lpt] {
         let a = distribute(&selected, policy, 6, &q, &dataset.matrices);
         // 1. Every combination lands on exactly one reducer.
@@ -53,10 +47,7 @@ fn both_policies_yield_identical_final_scores() {
     let mut reference: Option<Vec<f64>> = None;
     for policy in [DistributionPolicy::Dtb, DistributionPolicy::Lpt] {
         let engine = Tkij::new(
-            TkijConfig::default()
-                .with_granules(10)
-                .with_reducers(6)
-                .with_distribution(policy),
+            TkijConfig::default().with_granules(10).with_reducers(6).with_distribution(policy),
         );
         let dataset = engine.prepare(collections.clone()).unwrap();
         let report = engine.execute(&dataset, &q, 20).unwrap();
@@ -79,14 +70,8 @@ fn dtb_spreads_high_ub_combos_more_evenly_than_lpt() {
     // reducer a fair share of high-scoring combinations. We measure the
     // spread of the top-r combinations (by UB) across reducers.
     let (_, dataset, q) = setup(17, 400);
-    let (selected, _) = run_topbuckets(
-        &q,
-        &dataset.matrices,
-        1000,
-        Strategy::Loose,
-        &SolverConfig::default(),
-        2,
-    );
+    let (selected, _) =
+        run_topbuckets(&q, &dataset.matrices, 1000, Strategy::Loose, &SolverConfig::default(), 2);
     let r = 6;
     if selected.len() < r {
         return; // degenerate selection; nothing to compare
@@ -109,10 +94,7 @@ fn join_shuffle_matches_assignment_estimate() {
     let collections = uniform_collections(3, 90, 31);
     for policy in [DistributionPolicy::Dtb, DistributionPolicy::Lpt] {
         let engine = Tkij::new(
-            TkijConfig::default()
-                .with_granules(8)
-                .with_reducers(5)
-                .with_distribution(policy),
+            TkijConfig::default().with_granules(8).with_reducers(5).with_distribution(policy),
         );
         let dataset = engine.prepare(collections.clone()).unwrap();
         let report = engine.execute(&dataset, &table1::q_oo(PredicateParams::P1), 7).unwrap();

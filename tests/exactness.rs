@@ -103,7 +103,8 @@ fn traffic_data_self_join() {
     )
     .unwrap();
     let avg = small.avg_length();
-    let collections = vec![small.clone(), small.copy_as(CollectionId(1)), small.copy_as(CollectionId(2))];
+    let collections =
+        vec![small.clone(), small.copy_as(CollectionId(1)), small.copy_as(CollectionId(2))];
     let engine = Tkij::new(TkijConfig::default().with_granules(10).with_reducers(4));
     let dataset = engine.prepare(collections).unwrap();
     for (qname, q) in [
@@ -121,7 +122,8 @@ fn adversarial_clustered_data() {
     // stresses same-granule buckets (invalid box corners) and pruning.
     let mut intervals = Vec::new();
     for i in 0..40u64 {
-        intervals.push(Interval::new(i, 1000 + (i as i64 % 7), 1000 + (i as i64 % 11) + 5).unwrap());
+        intervals
+            .push(Interval::new(i, 1000 + (i as i64 % 7), 1000 + (i as i64 % 11) + 5).unwrap());
     }
     for i in 40..50u64 {
         intervals.push(Interval::new(i, 50_000, 50_040 + i as i64).unwrap());

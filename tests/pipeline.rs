@@ -63,9 +63,7 @@ fn deterministic_across_cluster_shapes() {
         );
         let dataset = engine.prepare(uniform_collections(3, 70, 1234)).unwrap();
         let report = engine.execute(&dataset, &q, 6).unwrap();
-        outputs.push(
-            report.results.iter().map(|t| (t.ids.clone(), t.score)).collect::<Vec<_>>(),
-        );
+        outputs.push(report.results.iter().map(|t| (t.ids.clone(), t.score)).collect::<Vec<_>>());
     }
     assert_eq!(outputs[0], outputs[1]);
     assert_eq!(outputs[0], outputs[2]);

@@ -64,8 +64,7 @@ fn parsed_inverse_predicates_match_oracle() {
     for text in ["after(1,2)", "metBy(1,2)", "during(1,2)", "finishes(1,2)", "oB(1,2)"] {
         let q = parse_query(text, p, 0).unwrap();
         let report = engine.execute(&dataset, &q, 7).unwrap();
-        let refs: Vec<_> =
-            q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
+        let refs: Vec<_> = q.vertices.iter().map(|c| &dataset.collections[c.0 as usize]).collect();
         let expected = naive_topk(&q, &refs, 7);
         assert_eq!(report.results.len(), expected.len(), "{text}");
         for (g, e) in report.results.iter().zip(&expected) {

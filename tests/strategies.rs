@@ -78,10 +78,7 @@ fn solver_effort_ranks_strategies() {
         calls["loose"],
         calls["brute-force"]
     );
-    assert!(
-        calls["two-phase"] >= calls["loose"],
-        "two-phase refines on top of loose"
-    );
+    assert!(calls["two-phase"] >= calls["loose"], "two-phase refines on top of loose");
 }
 
 #[test]

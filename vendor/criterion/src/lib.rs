@@ -1,0 +1,222 @@
+//! Offline stand-in for the subset of [`criterion`](https://docs.rs/criterion)
+//! that TKIJ's `micro` bench uses: `Criterion::bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock mean over `sample_size` samples after a
+//! short warm-up — no outlier analysis, HTML reports, or statistical tests.
+//! Good enough to spot order-of-magnitude regressions offline; swap in real
+//! criterion when network access is available.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The stub runs one setup per
+/// routine call regardless of variant; the enum exists for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100, warm_up_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        let mean = b.mean();
+        println!("{id:<50} {:>14}/iter ({} samples)", fmt_ns(mean), b.samples.len());
+        self
+    }
+
+    /// Starts a named group; the stub only prefixes benchmark ids.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), sample_size: None }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix. A group-level
+/// `sample_size` applies only within the group, as in real criterion.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.bench_function(&full, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; times the hot routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and pick an iteration count so each sample is ≥ ~50 µs.
+        let warm_start = Instant::now();
+        let mut iters_per_sample: u64 = 1;
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            calls += 1;
+            if calls >= 100_000 {
+                break;
+            }
+        }
+        let elapsed = warm_start.elapsed();
+        if calls > 0 {
+            let per_call = elapsed.as_nanos() / calls as u128;
+            iters_per_sample = (50_000 / per_call.max(1)).max(1) as u64;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up call so lazy initialisation is off the clock.
+        black_box(routine(setup()));
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total / self.samples.len() as u32
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Mirrors criterion's `criterion_group!`, both the configured and the
+/// plain form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(5).warm_up_time(Duration::from_millis(1));
+        c.bench_function("smoke/add", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![3u8, 1, 2], |mut v| v.sort(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,71 @@
+//! Offline stand-in for the one `crossbeam` entry point TKIJ uses:
+//! [`thread::scope`]. Implemented over `std::thread::scope` (stable since
+//! Rust 1.63), with crossbeam's closure signature — spawned closures receive
+//! a `&Scope` so they can spawn further scoped threads.
+//!
+//! Divergence from real crossbeam: a panicking child makes the scope itself
+//! panic on join (std semantics) rather than surfacing as `Err`, so the
+//! returned `Result` is always `Ok`. Callers that `.expect()` the result —
+//! the only pattern in this workspace — behave identically.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope, as in
+        /// crossbeam, so nested spawns work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed data may be shared with
+    /// spawned threads; all threads are joined before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    let s: u64 = chunk.iter().sum();
+                    total.fetch_add(s, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("scope");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

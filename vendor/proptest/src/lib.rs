@@ -1,0 +1,319 @@
+//! Offline stand-in for the subset of [`proptest`](https://docs.rs/proptest)
+//! that TKIJ's property tests use: the `proptest!` macro over named
+//! `arg in strategy` inputs, integer/float range strategies, tuple
+//! strategies, `collection::vec`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest: no shrinking and no failure persistence —
+//! a failing case panics with the generated inputs in the assertion message
+//! (every strategy here is driven by a fixed seed, so failures reproduce by
+//! re-running the test). Case count defaults to 256, overridable with
+//! `PROPTEST_CASES`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values for one `arg in strategy` binding.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128) - (self.start as i128);
+                    (self.start as i128 + (rng.below(span as u128) as i128)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    (lo as i128 + (rng.below(span as u128) as i128)) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty strategy range");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+
+    /// Length specification for [`crate::collection::vec`]; the dedicated
+    /// type (rather than a generic `Strategy<Value = usize>`) lets integer
+    /// literals in `vec(.., 0..50)` infer as `usize`, as in real proptest.
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        pub(crate) hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    /// `collection::vec(element, size)` strategy.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.hi_inclusive - self.len.lo + 1) as u128;
+            let n = self.len.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy behind `proptest::bool::ANY`.
+    #[derive(Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 source driving all strategies.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, span)`; `span` must be positive and fit
+        /// the strategies' `i128` arithmetic.
+        pub fn below(&mut self, span: u128) -> u128 {
+            assert!(span > 0);
+            // 64 random bits suffice: every range strategy in this
+            // workspace spans far less than 2^64.
+            (self.next_u64() as u128) % span
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-block configuration, reduced to the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: case_count() }
+        }
+    }
+
+    /// Number of cases per property, from `PROPTEST_CASES` or 256.
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Mirrors proptest's `proptest!` block: any number of `#[test]` functions
+/// whose arguments are `name in strategy` bindings, optionally headed by
+/// `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let cases = ($config).cases;
+            for case in 0..cases {
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case);
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let cases = $crate::test_runner::case_count();
+            for case in 0..cases {
+                // Per-test, per-case seed: stable across runs, distinct
+                // across properties in the same module.
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case);
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Mirrors `prop_assert!` — panics with the message; no shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// FNV-1a over the test path, mixed with the case index.
+#[doc(hidden)]
+pub fn seed_for(path: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        /// The macro wires strategies, bindings, and assertions together.
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, w in 1i64..30, u in 0.0f64..1.0) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..30).contains(&w));
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            ivs in crate::collection::vec((0i64..100, 0i64..100), 0..50),
+        ) {
+            prop_assert!(ivs.len() < 50);
+            for (a, b) in &ivs {
+                prop_assert!((0..100).contains(a));
+                prop_assert!((0..100).contains(b));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_cases_and_tests() {
+        assert_ne!(super::seed_for("a::b", 0), super::seed_for("a::b", 1));
+        assert_ne!(super::seed_for("a::b", 0), super::seed_for("a::c", 0));
+    }
+}
