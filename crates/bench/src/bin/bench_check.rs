@@ -1,0 +1,113 @@
+//! Bench-regression gate: compares a fresh `bench_smoke` JSON report
+//! against the committed baseline and exits non-zero if any tracked
+//! metric regressed by more than the tolerance. No network, no JSON
+//! dependency — both files are the flat `"key": number` format
+//! `bench_smoke` emits, parsed with a tiny scanner.
+//!
+//! Usage: `bench_check <BENCH_BASELINE.json> <current.json> [tolerance]`
+//!
+//! * every numeric key of the *baseline* is tracked (the current report
+//!   may carry extra, untracked metrics — e.g. machine-dependent absolute
+//!   timings that only exist for the artifact);
+//! * higher is worse by default; keys containing `speedup` invert
+//!   (lower is worse);
+//! * `tolerance` is the allowed relative regression, default `0.25`.
+
+use std::process::ExitCode;
+
+/// Extracts every `"key": <number>` pair from a flat JSON text.
+fn parse_metrics(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(close) = text[i + 1..].find('"').map(|o| i + 1 + o) else { break };
+        let key = &text[i + 1..close];
+        let mut j = close + 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b':' {
+            i = close + 1;
+            continue;
+        }
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let num_start = j;
+        while j < bytes.len() && matches!(bytes[j], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            j += 1;
+        }
+        if let Ok(v) = text[num_start..j].parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+        i = close + 1;
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_check <baseline.json> <current.json> [tolerance]");
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = args.get(3).map_or(0.25, |t| t.parse().expect("numeric tolerance"));
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let baseline = parse_metrics(&read(&args[1]));
+    let current = parse_metrics(&read(&args[2]));
+    if baseline.is_empty() {
+        eprintln!("baseline {} holds no numeric metrics", args[1]);
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}  status   (tolerance {:.0}%)",
+        "metric",
+        "baseline",
+        "current",
+        "delta",
+        tolerance * 100.0
+    );
+    for (key, base) in &baseline {
+        // Structural keys describe the workload, not a measurement, and
+        // absolute timings (`*_ms`) are machine-dependent: they ride
+        // along in the artifact but only dimensionless ratios and exact
+        // work counters gate CI.
+        if matches!(key.as_str(), "schema") || !key.contains('_') || key.ends_with("_ms") {
+            continue;
+        }
+        let Some((_, cur)) = current.iter().find(|(k, _)| k == key) else {
+            println!("{key:<28} {base:>14.3} {:>14} {:>9}  MISSING", "-", "-");
+            failed = true;
+            continue;
+        };
+        // Regression direction: higher is worse, except ratios where
+        // bigger is better.
+        let lower_is_worse = key.contains("speedup");
+        let delta = if *base == 0.0 { 0.0 } else { (cur - base) / base };
+        let regressed = if lower_is_worse { delta < -tolerance } else { delta > tolerance };
+        println!(
+            "{key:<28} {base:>14.3} {cur:>14.3} {:>8.1}%  {}",
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= regressed;
+    }
+    if failed {
+        eprintln!("\nbench_check: tracked metrics regressed beyond {:.0}%", tolerance * 100.0);
+        ExitCode::FAILURE
+    } else {
+        println!("\nbench_check: all tracked metrics within tolerance");
+        ExitCode::SUCCESS
+    }
+}

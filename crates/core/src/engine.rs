@@ -3,9 +3,8 @@
 //! from.
 
 use crate::combos::TopBucketsStats;
-use crate::config::{DistributionPolicy, Strategy, TkijConfig};
+use crate::config::{DistributionPolicy, LocalJoinBackend, Strategy, TkijConfig};
 use crate::distribute::distribute;
-use crate::joinphase::run_join_phase;
 use crate::localjoin::LocalJoinStats;
 use crate::merge::run_merge_phase;
 use crate::stats::{collect_statistics, PreparedDataset};
@@ -104,8 +103,16 @@ impl Tkij {
         );
 
         // (d) Distributed local joins.
-        let (outputs, join_metrics) =
-            run_join_phase(dataset, query, &selected, &assignment, k, &self.cluster);
+        let (outputs, join_metrics) = crate::joinphase::run_join_phase_with(
+            dataset,
+            query,
+            &selected,
+            &assignment,
+            k,
+            &self.cluster,
+            self.config.local_backend,
+            None,
+        );
 
         // (e) Merge.
         let (results, merge_metrics) = run_merge_phase(&outputs, k, &self.cluster);
@@ -125,6 +132,7 @@ impl Tkij {
             granules: dataset.granules,
             strategy: self.config.strategy,
             policy: self.config.distribution,
+            backend: self.config.local_backend,
             topbuckets,
             distribution: DistributionSummary {
                 policy: self.config.distribution,
@@ -171,6 +179,8 @@ pub struct ExecutionReport {
     pub strategy: Strategy,
     /// Distribution policy used.
     pub policy: DistributionPolicy,
+    /// Local-join candidate-source backend used.
+    pub backend: LocalJoinBackend,
     /// TopBuckets telemetry (Fig. 9 black box, Fig. 10c pruning curve).
     pub topbuckets: TopBucketsStats,
     /// Distribution telemetry (shuffle cost comparisons of §4.2.2).
@@ -212,6 +222,17 @@ impl ExecutionReport {
     /// Total tuples materialized by all reducers ("intermediate results").
     pub fn tuples_scored(&self) -> u64 {
         self.local_stats.iter().map(|s| s.tuples_scored).sum()
+    }
+
+    /// Total window probes issued against the local-join indexes.
+    pub fn index_probes(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.index_probes).sum()
+    }
+
+    /// Total stored items the indexes examined serving those probes —
+    /// the per-backend scan-effort the bench harnesses compare.
+    pub fn items_scanned(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.items_scanned).sum()
     }
 
     /// Share of the potential result space pruned by TopBuckets (Fig 10c).
@@ -290,28 +311,33 @@ mod tests {
     }
 
     #[test]
-    fn all_strategy_policy_combinations_agree() {
+    fn all_strategy_policy_backend_combinations_agree() {
         let base = uniform_collections(3, 40, 99);
         let q = table1::q_sm(PredicateParams::P2);
         let mut reference: Option<Vec<f64>> = None;
         for (_, strategy) in Strategy::all() {
             for policy in [DistributionPolicy::Dtb, DistributionPolicy::Lpt] {
-                let tk = Tkij::new(
-                    TkijConfig::default()
-                        .with_granules(5)
-                        .with_reducers(3)
-                        .with_strategy(strategy)
-                        .with_distribution(policy),
-                );
-                let dataset = tk.prepare(base.clone()).unwrap();
-                let report = tk.execute(&dataset, &q, 9).unwrap();
-                let scores: Vec<f64> = report.results.iter().map(|t| t.score).collect();
-                match &reference {
-                    None => reference = Some(scores),
-                    Some(r) => {
-                        assert_eq!(r.len(), scores.len(), "{}/{policy:?}", strategy.name());
-                        for (a, b) in r.iter().zip(&scores) {
-                            assert!((a - b).abs() < 1e-9, "{}/{policy:?}", strategy.name());
+                for (bname, backend) in LocalJoinBackend::all() {
+                    let tk = Tkij::new(
+                        TkijConfig::default()
+                            .with_granules(5)
+                            .with_reducers(3)
+                            .with_strategy(strategy)
+                            .with_distribution(policy)
+                            .with_local_backend(backend),
+                    );
+                    let dataset = tk.prepare(base.clone()).unwrap();
+                    let report = tk.execute(&dataset, &q, 9).unwrap();
+                    assert_eq!(report.backend, backend);
+                    let scores: Vec<f64> = report.results.iter().map(|t| t.score).collect();
+                    match &reference {
+                        None => reference = Some(scores),
+                        Some(r) => {
+                            let tag = format!("{}/{policy:?}/{bname}", strategy.name());
+                            assert_eq!(r.len(), scores.len(), "{tag}");
+                            for (a, b) in r.iter().zip(&scores) {
+                                assert!((a - b).abs() < 1e-9, "{tag}");
+                            }
                         }
                     }
                 }
@@ -335,6 +361,9 @@ mod tests {
         assert!(report.total_wall() >= report.topbuckets.duration);
         assert!(!report.phase_line().is_empty());
         assert!(report.pruned_pct() >= 0.0 && report.pruned_pct() <= 100.0);
+        assert_eq!(report.backend, LocalJoinBackend::Sweep, "default backend");
+        assert!(report.index_probes() > 0, "probes are counted");
+        assert!(report.items_scanned() > 0, "scan effort is counted");
         // The join shuffle matches the assignment estimate.
         assert_eq!(
             report.join.total_shuffle_records(),

@@ -140,6 +140,7 @@ pub fn execute_hybrid(
         &assignment,
         k,
         &engine.cluster,
+        cfg.local_backend,
         Some(&filter),
     );
     let (results, merge_metrics) = run_merge_phase(&outputs, k, &engine.cluster);
@@ -158,6 +159,7 @@ pub fn execute_hybrid(
         granules: dataset.granules,
         strategy: cfg.strategy,
         policy: cfg.distribution,
+        backend: cfg.local_backend,
         topbuckets,
         distribution: DistributionSummary {
             policy: cfg.distribution,

@@ -6,6 +6,7 @@
 //! falls. Then x is communicated to all reducers r_j that received b."
 
 use crate::combos::ComboSet;
+use crate::config::LocalJoinBackend;
 use crate::distribute::Assignment;
 use crate::localjoin::LocalJoinStats;
 use crate::stats::PreparedDataset;
@@ -36,8 +37,8 @@ impl SizeOf for VRec {
     }
 }
 
-/// Runs the join phase. `combos` must be the selected `Ω_{k,S}` that
-/// `assignment` distributes.
+/// Runs the join phase with the default local-join backend. `combos`
+/// must be the selected `Ω_{k,S}` that `assignment` distributes.
 pub fn run_join_phase(
     dataset: &PreparedDataset,
     query: &Query,
@@ -46,10 +47,20 @@ pub fn run_join_phase(
     k: usize,
     cluster: &ClusterConfig,
 ) -> (Vec<ReducerOutput>, JobMetrics) {
-    run_join_phase_with(dataset, query, combos, assignment, k, cluster, None)
+    run_join_phase_with(
+        dataset,
+        query,
+        combos,
+        assignment,
+        k,
+        cluster,
+        LocalJoinBackend::default(),
+        None,
+    )
 }
 
-/// [`run_join_phase`] with an optional attribute filter (hybrid queries).
+/// [`run_join_phase`] on an explicit candidate-source backend, with an
+/// optional attribute filter (hybrid queries).
 #[allow(clippy::too_many_arguments)]
 pub fn run_join_phase_with(
     dataset: &PreparedDataset,
@@ -58,6 +69,7 @@ pub fn run_join_phase_with(
     assignment: &Assignment,
     k: usize,
     cluster: &ClusterConfig,
+    backend: LocalJoinBackend,
     filter: Option<&dyn crate::localjoin::TupleFilter>,
 ) -> (Vec<ReducerOutput>, JobMetrics) {
     // Map input: the intervals of every collection some vertex reads.
@@ -110,7 +122,8 @@ pub fn run_join_phase_with(
             for bucket in data.values_mut() {
                 bucket.sort_unstable_by_key(|iv| (iv.start, iv.end, iv.id));
             }
-            let (topk, stats) = crate::localjoin::local_topk_join_with(
+            let (topk, stats) = crate::localjoin::local_topk_join_on(
+                backend,
                 query,
                 &plan,
                 k,

@@ -39,11 +39,11 @@ pub mod stats;
 pub mod topbuckets;
 
 pub use combos::{ComboSet, TopBucketsStats, VertexBuckets};
-pub use config::{DistributionPolicy, Strategy, TkijConfig};
+pub use config::{DistributionPolicy, LocalJoinBackend, Strategy, TkijConfig};
 pub use distribute::{distribute, Assignment};
 pub use engine::{DistributionSummary, ExecutionReport, Tkij};
-pub use joinphase::{run_join_phase, ReducerOutput};
-pub use localjoin::{local_topk_join, LocalJoinStats};
+pub use joinphase::{run_join_phase, run_join_phase_with, ReducerOutput};
+pub use localjoin::{local_topk_join, local_topk_join_on, LocalJoinStats};
 pub use merge::run_merge_phase;
 pub use naive::{all_pair_scores, naive_boolean, naive_topk};
 pub use stats::{collect_statistics, PreparedDataset};

@@ -10,11 +10,16 @@
 //!   k-th score `τ` (no remaining combination can contribute);
 //! * inside a combination, tuples are grown along the query's
 //!   [`JoinPlan`]; candidates for the next vertex are fetched from the
-//!   bucket's R-tree with a **score-threshold window** derived from `τ`
+//!   bucket's index with a **score-threshold window** derived from `τ`
 //!   and the already-fixed edge scores (the paper's "returns only
 //!   intervals x_j s.t. s-p(x_i, x_j) ≥ v");
 //! * cycle edges are checked exactly, and partial tuples whose optimistic
 //!   completion cannot reach `τ` are pruned.
+//!
+//! The candidate index is pluggable ([`LocalJoinBackend`]): the join is
+//! generic over [`CandidateSource`], so the paper's R-tree and the
+//! sweeping-based endpoint store evaluate through identical join logic
+//! and differ only in how they serve window probes.
 //!
 //! Pruning uses *strict* comparisons against `τ`, so every tuple that
 //! could enter the final top-k (including ties resolved by the
@@ -22,8 +27,9 @@
 //! naive oracle's exactly, which the tests verify.
 
 use crate::combos::ComboSet;
+use crate::config::LocalJoinBackend;
 use std::collections::HashMap;
-use tkij_index::{threshold_candidates, RTree};
+use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex};
 use tkij_temporal::bucket::BucketId;
 use tkij_temporal::expr::Side;
 use tkij_temporal::interval::Interval;
@@ -41,6 +47,11 @@ pub struct LocalJoinStats {
     pub tuples_scored: u64,
     /// Candidate intervals visited through index windows.
     pub candidates_visited: u64,
+    /// Window probes issued against the candidate index.
+    pub index_probes: u64,
+    /// Stored items the index examined serving those probes (≥
+    /// `candidates_visited`; the gap is the backend's scan overhead).
+    pub items_scanned: u64,
     /// Minimum score among the returned local top-k (Fig. 8c), 0 when
     /// empty.
     pub kth_score: f64,
@@ -55,7 +66,7 @@ pub trait TupleFilter: Sync {
     fn admits(&self, tuple: &[Option<Interval>]) -> bool;
 }
 
-/// Runs the local top-k join of one reducer.
+/// Runs the local top-k join of one reducer with the default backend.
 ///
 /// `combo_indices` lists this reducer's combinations (indices into
 /// `combos`); they are re-sorted by descending UB internally. `data` maps
@@ -84,12 +95,59 @@ pub fn local_topk_join_with(
     data: &HashMap<(u16, BucketId), Vec<Interval>>,
     filter: Option<&dyn TupleFilter>,
 ) -> (TopK, LocalJoinStats) {
+    local_topk_join_on(
+        LocalJoinBackend::default(),
+        query,
+        plan,
+        k,
+        combos,
+        combo_indices,
+        data,
+        filter,
+    )
+}
+
+/// [`local_topk_join_with`] on an explicit candidate-source backend.
+/// Dispatches once per reducer; the join itself is monomorphized per
+/// backend.
+#[allow(clippy::too_many_arguments)]
+pub fn local_topk_join_on(
+    backend: LocalJoinBackend,
+    query: &Query,
+    plan: &JoinPlan,
+    k: usize,
+    combos: &ComboSet,
+    combo_indices: &[u32],
+    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    filter: Option<&dyn TupleFilter>,
+) -> (TopK, LocalJoinStats) {
+    match backend {
+        LocalJoinBackend::RTree => {
+            join_generic::<RTree>(query, plan, k, combos, combo_indices, data, filter)
+        }
+        LocalJoinBackend::Sweep => {
+            join_generic::<SweepIndex>(query, plan, k, combos, combo_indices, data, filter)
+        }
+    }
+}
+
+/// The backend-generic rank-join body.
+#[allow(clippy::too_many_arguments)]
+fn join_generic<C: CandidateSource>(
+    query: &Query,
+    plan: &JoinPlan,
+    k: usize,
+    combos: &ComboSet,
+    combo_indices: &[u32],
+    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    filter: Option<&dyn TupleFilter>,
+) -> (TopK, LocalJoinStats) {
     let mut stats = LocalJoinStats { combos_assigned: combo_indices.len(), ..Default::default() };
     let mut topk = TopK::new(k);
 
     // Index every shipped bucket once; reused across combinations.
-    let trees: HashMap<(u16, BucketId), RTree> =
-        data.iter().map(|(&key, intervals)| (key, RTree::bulk_load(intervals.clone()))).collect();
+    let indexes: HashMap<(u16, BucketId), C> =
+        data.iter().map(|(&key, intervals)| (key, C::build(intervals.clone()))).collect();
 
     // Access order: descending upper bound (paper §4).
     let mut order: Vec<u32> = combo_indices.to_vec();
@@ -103,7 +161,7 @@ pub fn local_topk_join_with(
     let mut cx = JoinCx {
         query,
         plan,
-        trees: &trees,
+        indexes: &indexes,
         topk: &mut topk,
         stats: &mut stats,
         tuple: vec![None; query.n()],
@@ -129,10 +187,10 @@ pub fn local_topk_join_with(
 }
 
 /// Mutable evaluation context threaded through the recursion.
-struct JoinCx<'a> {
+struct JoinCx<'a, C> {
     query: &'a Query,
     plan: &'a JoinPlan,
-    trees: &'a HashMap<(u16, BucketId), RTree>,
+    indexes: &'a HashMap<(u16, BucketId), C>,
     topk: &'a mut TopK,
     stats: &'a mut LocalJoinStats,
     /// Partial tuple, indexed by vertex.
@@ -143,14 +201,14 @@ struct JoinCx<'a> {
     filter: Option<&'a dyn TupleFilter>,
 }
 
-impl JoinCx<'_> {
+impl<C: CandidateSource> JoinCx<'_, C> {
     fn process_combo(&mut self, buckets: &[BucketId], combo_ub: f64) {
         let first = &self.plan.steps[0];
-        let Some(tree) = self.trees.get(&(first.vertex as u16, buckets[first.vertex])) else {
+        let Some(index) = self.indexes.get(&(first.vertex as u16, buckets[first.vertex])) else {
             return; // bucket had no shipped data
         };
-        // Iterate a snapshot: trees are immutable, items are sorted.
-        for x in tree.items() {
+        // Iterate a snapshot: indexes are immutable, items are sorted.
+        for x in index.items() {
             if self.topk.is_full() && combo_ub <= self.topk.admission_score() {
                 break; // the whole combination became dominated mid-way
             }
@@ -185,7 +243,7 @@ impl JoinCx<'_> {
         if needed > 1.0 || (strict && needed >= 1.0) {
             return; // even a perfect edge score cannot beat τ
         }
-        let Some(tree) = self.trees.get(&(step.vertex as u16, buckets[step.vertex])) else {
+        let Some(index) = self.indexes.get(&(step.vertex as u16, buckets[step.vertex])) else {
             return;
         };
         // Materialize candidates with their exact anchor-edge scores (the
@@ -195,8 +253,8 @@ impl JoinCx<'_> {
         // candidate falling below the (re-evaluated) requirement ends the
         // whole loop instead of being skipped.
         let mut candidates: Vec<(f64, Interval)> = Vec::new();
-        threshold_candidates(
-            tree,
+        let scanned = threshold_candidates(
+            index,
             &edge.predicate,
             &anchor_iv,
             anchor.anchor_side,
@@ -211,6 +269,8 @@ impl JoinCx<'_> {
                 }
             },
         );
+        self.stats.index_probes += 1;
+        self.stats.items_scanned += scanned;
         self.stats.candidates_visited += candidates.len() as u64;
         candidates.sort_by(|a, b| {
             b.0.total_cmp(&a.0)
@@ -346,9 +406,22 @@ mod tests {
     }
 
     fn assert_matches_naive(query: &Query, collections: &[IntervalCollection], k: usize, g: u32) {
+        for (_, backend) in LocalJoinBackend::all() {
+            assert_matches_naive_on(backend, query, collections, k, g);
+        }
+    }
+
+    fn assert_matches_naive_on(
+        backend: LocalJoinBackend,
+        query: &Query,
+        collections: &[IntervalCollection],
+        k: usize,
+        g: u32,
+    ) {
         let (combos, indices, data) = full_setup(query, collections, g);
         let plan = query.plan();
-        let (topk, stats) = local_topk_join(query, &plan, k, &combos, &indices, &data);
+        let (topk, stats) =
+            local_topk_join_on(backend, query, &plan, k, &combos, &indices, &data, None);
         let refs: Vec<&IntervalCollection> =
             query.vertices.iter().map(|c| &collections[c.0 as usize]).collect();
         let expected = naive_topk(query, &refs, k);
@@ -472,10 +545,71 @@ mod tests {
             }
         }
         let plan = q.plan();
-        let (topk, stats) = local_topk_join(&q, &plan, 3, &selected, &indices, &data);
-        assert_eq!(topk.len(), 3);
-        assert!((topk.min_score().unwrap() - 1.0).abs() < 1e-9);
-        assert_eq!(stats.combos_processed, 1, "the UB-0.4 combination must be skipped: {stats:?}");
+        // Early termination is a property of the rank-join, not of the
+        // candidate source: every backend must skip the dominated combo.
+        for (name, backend) in LocalJoinBackend::all() {
+            let (topk, stats) =
+                local_topk_join_on(backend, &q, &plan, 3, &selected, &indices, &data, None);
+            assert_eq!(topk.len(), 3, "{name}");
+            assert!((topk.min_score().unwrap() - 1.0).abs() < 1e-9, "{name}");
+            assert!(
+                stats.combos_processed < stats.combos_assigned,
+                "{name}: early termination must fire: {stats:?}"
+            );
+            assert_eq!(
+                stats.combos_processed, 1,
+                "{name}: UB-0.4 combo must be skipped: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backends_agree_exactly_and_sweep_scans_less() {
+        let collections = random_collections(17, 3, 40, 400);
+        let q = table1::q_om(PredicateParams::P1);
+        let (combos, indices, data) = full_setup(&q, &collections, 8);
+        let plan = q.plan();
+        let (rt_topk, rt_stats) = local_topk_join_on(
+            LocalJoinBackend::RTree,
+            &q,
+            &plan,
+            12,
+            &combos,
+            &indices,
+            &data,
+            None,
+        );
+        let (sw_topk, sw_stats) = local_topk_join_on(
+            LocalJoinBackend::Sweep,
+            &q,
+            &plan,
+            12,
+            &combos,
+            &indices,
+            &data,
+            None,
+        );
+        let a = rt_topk.into_sorted_vec();
+        let b = sw_topk.into_sorted_vec();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            // Scores are computed by identical fp arithmetic on the same
+            // winning tuples: bitwise equality, not epsilon equality.
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "{x:?} vs {y:?}");
+        }
+        assert!(rt_stats.index_probes > 0 && sw_stats.index_probes > 0);
+        assert!(rt_stats.items_scanned >= rt_stats.candidates_visited);
+        assert!(sw_stats.items_scanned >= sw_stats.candidates_visited);
+        // The perf property this backend exists for: the sweep store
+        // examines at most the R-tree's items for the same join (it scans
+        // the tighter of the two endpoint runs; the R-tree scans every
+        // leaf its traversal touches).
+        assert!(
+            sw_stats.items_scanned <= rt_stats.items_scanned,
+            "sweep must not out-scan the R-tree: {} vs {}",
+            sw_stats.items_scanned,
+            rt_stats.items_scanned
+        );
     }
 
     #[test]

@@ -61,10 +61,11 @@ impl GridIndex {
         self.len == 0
     }
 
-    /// Visits every interval in the window.
-    pub fn window_query<'t>(&'t self, w: &Window, mut visit: impl FnMut(&'t Interval)) {
+    /// Visits every interval in the window and returns the number of
+    /// stored items examined (items of every scanned cell).
+    pub fn window_query<'t>(&'t self, w: &Window, mut visit: impl FnMut(&'t Interval)) -> u64 {
         if w.is_empty() || self.len == 0 {
-            return;
+            return 0;
         }
         let clamp_col = |x: f64| -> usize {
             let rel = (x - self.origin.0 as f64) / self.cell as f64;
@@ -78,15 +79,19 @@ impl GridIndex {
         let c1 = clamp_col(w.start.1);
         let r0 = clamp_row(w.end.0);
         let r1 = clamp_row(w.end.1);
+        let mut examined = 0u64;
         for r in r0..=r1 {
             for c in c0..=c1 {
-                for iv in &self.cells[r * self.cols + c] {
+                let cell = &self.cells[r * self.cols + c];
+                examined += cell.len() as u64;
+                for iv in cell {
                     if w.contains(iv) {
                         visit(iv);
                     }
                 }
             }
         }
+        examined
     }
 
     /// Collects matching intervals.

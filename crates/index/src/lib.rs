@@ -7,7 +7,12 @@
 //! `s-p(i,j)(x_i, x_j) ≥ v`" (§4). This crate provides:
 //!
 //! * [`RTree`] — a static STR bulk-loaded R-tree over endpoint points,
+//! * [`SweepIndex`] — the sweeping-based, endpoint-sorted store (Piatov
+//!   et al.): gapless lanes, binary-searched runs, sequential sweeps —
+//!   the cache-friendly default of the local-join hot path,
 //! * [`GridIndex`] — a uniform-grid alternative (ablation / oracle),
+//! * [`CandidateSource`] — the access-path abstraction the local join is
+//!   generic over, so backends are swappable without touching join logic,
 //! * [`threshold_candidates`] — the predicate-to-window translation that
 //!   implements the quoted retrieval: the score constraint becomes an
 //!   axis-aligned window (conservative when a primitive compares derived
@@ -16,31 +21,93 @@
 
 pub mod grid;
 pub mod rtree;
+pub mod sweep;
 
 pub use grid::GridIndex;
 pub use rtree::{RTree, Rect, Window, FANOUT};
+pub use sweep::SweepIndex;
 
 use tkij_temporal::expr::Side;
 use tkij_temporal::interval::Interval;
 use tkij_temporal::predicate::TemporalPredicate;
 
-/// Visits the intervals of `tree` that *may* satisfy
+/// An access path over one bucket's intervals, answering the endpoint-
+/// plane window queries of the score-threshold retrieval.
+///
+/// Every backend must visit *exactly* the stored intervals whose
+/// `(start, end)` point lies in the window (property-tested against each
+/// other and a linear scan) — visit *order* is backend-specific but
+/// deterministic.
+pub trait CandidateSource: Sync {
+    /// Builds the index from a bucket's intervals (input order is
+    /// irrelevant).
+    fn build(items: Vec<Interval>) -> Self
+    where
+        Self: Sized;
+
+    /// All indexed intervals, in the backend's deterministic order.
+    fn items(&self) -> &[Interval];
+
+    /// Visits every interval in the window; returns the number of stored
+    /// items *examined* (scan-effort telemetry, ≥ the number visited).
+    fn probe<'t>(&'t self, window: &Window, visit: &mut dyn FnMut(&'t Interval)) -> u64;
+
+    /// Number of indexed intervals.
+    fn len(&self) -> usize {
+        self.items().len()
+    }
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.items().is_empty()
+    }
+}
+
+impl CandidateSource for RTree {
+    fn build(items: Vec<Interval>) -> Self {
+        RTree::bulk_load(items)
+    }
+
+    fn items(&self) -> &[Interval] {
+        RTree::items(self)
+    }
+
+    fn probe<'t>(&'t self, window: &Window, visit: &mut dyn FnMut(&'t Interval)) -> u64 {
+        self.window_query(window, visit)
+    }
+}
+
+impl CandidateSource for SweepIndex {
+    fn build(items: Vec<Interval>) -> Self {
+        SweepIndex::build(items)
+    }
+
+    fn items(&self) -> &[Interval] {
+        SweepIndex::items(self)
+    }
+
+    fn probe<'t>(&'t self, window: &Window, visit: &mut dyn FnMut(&'t Interval)) -> u64 {
+        self.window_query(window, visit)
+    }
+}
+
+/// Visits the intervals of `index` that *may* satisfy
 /// `s-p(anchor, ·) ≥ v` (or `s-p(·, anchor) ≥ v` when the anchor plays the
-/// right side).
+/// right side). Returns the number of stored items the backend examined.
 ///
 /// Every interval actually scoring `≥ v` against the anchor is visited
 /// (soundness, property-tested); visited intervals still need an exact
 /// score check because the window is a conservative box.
-pub fn threshold_candidates<'t>(
-    tree: &'t RTree,
+pub fn threshold_candidates<'t, C: CandidateSource>(
+    index: &'t C,
     predicate: &TemporalPredicate,
     anchor: &Interval,
     anchor_side: Side,
     v: f64,
-    visit: impl FnMut(&'t Interval),
-) {
+    mut visit: impl FnMut(&'t Interval),
+) -> u64 {
     let window: Window = predicate.threshold_window(anchor, anchor_side, v).into();
-    tree.window_query(&window, visit);
+    index.probe(&window, &mut visit)
 }
 
 #[cfg(test)]
@@ -125,6 +192,36 @@ mod tests {
                     );
                 }
             }
+        }
+
+        /// Sweep and R-tree agree on threshold candidate sets for random
+        /// score-threshold windows across every predicate kind and side.
+        #[test]
+        fn sweep_rtree_agree_on_threshold_windows(
+            kind_idx in 0usize..16,
+            points in proptest::collection::vec((0i64..200, 0i64..50), 1..120),
+            a_s in 0i64..200, a_w in 0i64..50,
+            v in 0.0f64..1.0,
+            anchor_left in proptest::bool::ANY,
+        ) {
+            let kind = PredicateKind::all()[kind_idx];
+            let pred = TemporalPredicate::from_kind(kind, PredicateParams::P2, 8);
+            let items: Vec<Interval> = points
+                .iter()
+                .enumerate()
+                .map(|(i, (s, w))| iv(i as u64, *s, s + w))
+                .collect();
+            let tree = RTree::bulk_load(items.clone());
+            let sweep = SweepIndex::build(items);
+            let anchor = iv(9999, a_s, a_s + a_w);
+            let side = if anchor_left { Side::Left } else { Side::Right };
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            threshold_candidates(&tree, &pred, &anchor, side, v, |c| a.push(*c));
+            threshold_candidates(&sweep, &pred, &anchor, side, v, |c| b.push(*c));
+            a.sort_by_key(|i| i.id);
+            b.sort_by_key(|i| i.id);
+            prop_assert_eq!(a, b, "{:?} side={:?} v={}", kind, side, v);
         }
 
         /// Grid and R-tree agree on threshold candidate sets.

@@ -179,12 +179,15 @@ impl RTree {
         &self.items
     }
 
-    /// Visits every interval whose endpoint point lies in the window.
-    pub fn window_query<'t>(&'t self, window: &Window, mut visit: impl FnMut(&'t Interval)) {
+    /// Visits every interval whose endpoint point lies in the window and
+    /// returns the number of stored items examined (items of every leaf
+    /// the traversal touched) — the backend's scan-effort telemetry.
+    pub fn window_query<'t>(&'t self, window: &Window, mut visit: impl FnMut(&'t Interval)) -> u64 {
         if window.is_empty() {
-            return;
+            return 0;
         }
-        let Some(root) = self.root else { return };
+        let Some(root) = self.root else { return 0 };
+        let mut examined = 0u64;
         let mut stack = vec![root];
         while let Some(ni) = stack.pop() {
             let node = &self.nodes[ni as usize];
@@ -194,6 +197,7 @@ impl RTree {
             match &node.kind {
                 NodeKind::Leaf { lo, hi } => {
                     let slice = &self.items[*lo as usize..*hi as usize];
+                    examined += slice.len() as u64;
                     if node.rect.inside_window(window) {
                         // Whole leaf covered: no per-item test needed.
                         for iv in slice {
@@ -212,6 +216,7 @@ impl RTree {
                 }
             }
         }
+        examined
     }
 
     /// Collects matching intervals (window query convenience).

@@ -27,10 +27,21 @@ impl<'p, K, V> Emitter<'p, K, V> {
 
     /// Emits one record; the partitioner must return an index `<`
     /// the configured number of partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when the partitioner strays out
+    /// of range — in release builds too: a mis-partitioned record would
+    /// otherwise surface as a bare slice-index panic far from the
+    /// offending partitioner.
     #[inline]
     pub fn emit(&mut self, key: K, value: V) {
         let p = (self.partitioner)(&key);
-        debug_assert!(p < self.buffers.len(), "partitioner out of range: {p}");
+        assert!(
+            p < self.buffers.len(),
+            "partitioner returned partition {p} for a job with {} partitions",
+            self.buffers.len()
+        );
         self.buffers[p].push((key, value));
     }
 
@@ -364,6 +375,15 @@ mod tests {
             assert_eq!(metrics.total_shuffle_records() as usize, data.len());
             assert_eq!(metrics.shuffle_records.len(), parts);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioner returned partition 3 for a job with 2 partitions")]
+    fn emitter_rejects_out_of_range_partitions() {
+        let part = |k: &u64| *k as usize;
+        let mut em: Emitter<'_, u64, u64> = Emitter::new(2, &part);
+        em.emit(1, 10); // in range
+        em.emit(3, 30); // out of range: must panic with a useful message
     }
 
     #[test]

@@ -68,5 +68,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!((report.results[1].score - 1.0).abs() < 1e-9);
     assert_eq!(report.results[2].ids, vec![3, 2]);
     assert!((report.results[2].score - 0.75).abs() < 1e-9);
+
+    // The reducer-local join serves candidates from a pluggable backend:
+    // the default is the cache-friendly sweep store; the paper's R-tree
+    // remains available and returns identical results.
+    let rtree_engine = Tkij::new(
+        TkijConfig::default()
+            .with_granules(4)
+            .with_reducers(2)
+            .with_local_backend(LocalJoinBackend::RTree),
+    );
+    let rtree_report = rtree_engine.execute(&dataset, &query, 3)?;
+    assert_eq!(report.backend, LocalJoinBackend::Sweep);
+    assert_eq!(rtree_report.backend, LocalJoinBackend::RTree);
+    for (a, b) in report.results.iter().zip(&rtree_report.results) {
+        assert_eq!(a.ids, b.ids);
+        assert!((a.score - b.score).abs() < 1e-12);
+    }
+    println!("\nsweep and rtree local-join backends agree on the top-3");
     Ok(())
 }

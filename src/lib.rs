@@ -14,7 +14,7 @@
 //! | [`temporal`] | intervals, scored predicates, queries, granules, bucket statistics |
 //! | [`solver`] | branch-and-bound score bounds for bucket combinations |
 //! | [`mapreduce`] | the Map-Reduce engine with shuffle accounting |
-//! | [`index`] | R-tree / grid access paths with score-threshold windows |
+//! | [`index`] | R-tree / sweep / grid access paths with score-threshold windows |
 //! | [`datagen`] | synthetic and simulated network-traffic workloads |
 //! | [`core`](mod@core) | the TKIJ engine itself (statistics, TopBuckets, DTB, joins) |
 //! | [`baselines`] | the Boolean competitors RCCIS and All-Matrix |
@@ -48,7 +48,7 @@ pub use tkij_temporal as temporal;
 pub mod prelude {
     pub use tkij_core::{
         collect_statistics, naive_boolean, naive_topk, DistributionPolicy, ExecutionReport,
-        PreparedDataset, Strategy, Tkij, TkijConfig,
+        LocalJoinBackend, PreparedDataset, Strategy, Tkij, TkijConfig,
     };
     pub use tkij_datagen::{traffic_collection, uniform_collections, TrafficConfig};
     pub use tkij_mapreduce::ClusterConfig;
