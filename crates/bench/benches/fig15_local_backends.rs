@@ -30,7 +30,15 @@ use tkij_temporal::query::table1;
 /// Best-of repetitions for each timed section.
 const RUNS: usize = 3;
 
-fn join_time(backend: LocalJoinBackend, size: usize, span: i64, seed: u64) -> (Duration, u64, u64) {
+struct JoinRun {
+    best: Duration,
+    probes: u64,
+    scanned: u64,
+    buckets_rtree: u64,
+    buckets_sweep: u64,
+}
+
+fn join_time(backend: LocalJoinBackend, size: usize, span: i64, seed: u64) -> JoinRun {
     let cfg = SyntheticConfig { size, start_range: (0, span), length_range: (1, 100), seed };
     let collections: Vec<_> =
         (0..3u32).map(|i| uniform_collection(CollectionId(i), &cfg)).collect();
@@ -39,18 +47,20 @@ fn join_time(backend: LocalJoinBackend, size: usize, span: i64, seed: u64) -> (D
     );
     let dataset = engine.prepare(collections).expect("prepare");
     let query = table1::q_om(PredicateParams::P1);
-    let mut best = Duration::MAX;
-    let (mut probes, mut scanned) = (0u64, 0u64);
+    let mut run =
+        JoinRun { best: Duration::MAX, probes: 0, scanned: 0, buckets_rtree: 0, buckets_sweep: 0 };
     for rep in 0..=RUNS {
         let report = engine.execute(&dataset, &query, 100).expect("execute");
         if rep == 0 {
             continue; // warm-up
         }
-        best = best.min(report.join.reduce_durations.iter().sum());
-        probes = report.index_probes();
-        scanned = report.items_scanned();
+        run.best = run.best.min(report.join.reduce_durations.iter().sum());
+        run.probes = report.index_probes();
+        run.scanned = report.items_scanned();
+        run.buckets_rtree = report.buckets_rtree();
+        run.buckets_sweep = report.buckets_sweep();
     }
-    (best, probes, scanned)
+    run
 }
 
 fn probe_time<C: CandidateSource>(size: usize, span: i64, seed: u64) -> (Duration, u64) {
@@ -91,18 +101,29 @@ fn main() {
 
     let mut join_rows = Vec::new();
     let mut probe_rows = Vec::new();
+    let mut worst_auto_ratio = 0.0f64;
     for &span in &[100_000i64, 40_000, 20_000, 10_000] {
         let density = size as f64 * 50.5 / span as f64; // avg concurrent intervals
-        let (rt, rt_probes, rt_scanned) = join_time(LocalJoinBackend::RTree, size, span, 7);
-        let (sw, sw_probes, sw_scanned) = join_time(LocalJoinBackend::Sweep, size, span, 7);
+        let rt = join_time(LocalJoinBackend::RTree, size, span, 7);
+        let sw = join_time(LocalJoinBackend::Sweep, size, span, 7);
+        let auto = join_time(LocalJoinBackend::Auto, size, span, 7);
+        // The auto-selection acceptance bound: per density point, Auto's
+        // scan effort must track the better fixed backend within 10%.
+        let better = rt.scanned.min(sw.scanned);
+        let ratio = auto.scanned as f64 / better.max(1) as f64;
+        worst_auto_ratio = worst_auto_ratio.max(ratio);
         join_rows.push(vec![
             format!("{span}"),
             format!("{density:.0}"),
-            ms(rt),
-            ms(sw),
-            format!("{:.2}x", rt.as_secs_f64() / sw.as_secs_f64().max(1e-12)),
-            format!("{:.1}", rt_scanned as f64 / rt_probes.max(1) as f64),
-            format!("{:.1}", sw_scanned as f64 / sw_probes.max(1) as f64),
+            ms(rt.best),
+            ms(sw.best),
+            ms(auto.best),
+            format!("{:.2}x", rt.best.as_secs_f64() / sw.best.as_secs_f64().max(1e-12)),
+            format!("{}", rt.scanned),
+            format!("{}", sw.scanned),
+            format!("{}", auto.scanned),
+            format!("{:.3}", ratio),
+            format!("{}/{}", auto.buckets_sweep, auto.buckets_rtree),
         ]);
         let (rtp, rtp_scanned) = probe_time::<RTree>(size, span, 7);
         let (swp, swp_scanned) = probe_time::<SweepIndex>(size, span, 7);
@@ -115,9 +136,21 @@ fn main() {
             format!("{swp_scanned}"),
         ]);
     }
-    println!("(15a) Join-phase reduce time per backend (same exact top-k):");
+    println!("(15a) Join-phase reduce time and scan effort per backend (same exact top-k):");
     print_table(
-        &["span", "~density", "rtree", "sweep", "speedup", "scan/probe rt", "scan/probe sw"],
+        &[
+            "span",
+            "~density",
+            "rtree",
+            "sweep",
+            "auto",
+            "speedup",
+            "rt scanned",
+            "sw scanned",
+            "auto scanned",
+            "auto/best",
+            "auto sw/rt",
+        ],
         &join_rows,
     );
     println!("\n(15b) Probe-level s-meets threshold retrieval (v = 0.8):");
@@ -129,5 +162,13 @@ fn main() {
     println!(
         "\nshape check: dense-regime probe speedup {} with sweep examining {} items vs rtree {}",
         last[3], last[5], last[4]
+    );
+    println!(
+        "auto-selection check: worst auto/best scan ratio {worst_auto_ratio:.3} \
+         (must stay ≤ 1.10 at every density point)"
+    );
+    assert!(
+        worst_auto_ratio <= 1.10,
+        "Auto examined {worst_auto_ratio:.3}x the better fixed backend's items"
     );
 }

@@ -9,8 +9,11 @@
 //! * every numeric key of the *baseline* is tracked (the current report
 //!   may carry extra, untracked metrics — e.g. machine-dependent absolute
 //!   timings that only exist for the artifact);
-//! * higher is worse by default; keys containing `speedup` invert
-//!   (lower is worse);
+//! * higher is worse by default; keys containing `speedup` or `pruned`
+//!   invert (lower is worse: a speedup or pruning collapse is the
+//!   regression);
+//! * a zero baseline gates exactly: any growth from 0 fails (degenerate-
+//!   case counters are tracked to catch leaving the degenerate regime);
 //! * `tolerance` is the allowed relative regression, default `0.25`.
 
 use std::process::ExitCode;
@@ -91,10 +94,23 @@ fn main() -> ExitCode {
             failed = true;
             continue;
         };
-        // Regression direction: higher is worse, except ratios where
-        // bigger is better.
-        let lower_is_worse = key.contains("speedup");
-        let delta = if *base == 0.0 { 0.0 } else { (cur - base) / base };
+        // Regression direction: higher is worse, except speedup ratios
+        // and pruning counters, where bigger is better (a pruning
+        // collapse, not a pruning improvement, is the regression).
+        let lower_is_worse = key.contains("speedup") || key.contains("pruned");
+        // A zero baseline has no meaningful relative delta: any growth
+        // from 0 is an infinite regression (degenerate-case counters
+        // like cap fallbacks are tracked precisely so that leaving the
+        // degenerate regime fails loudly).
+        let delta = if *base == 0.0 {
+            if *cur == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (cur - base) / base
+        };
         let regressed = if lower_is_worse { delta < -tolerance } else { delta > tolerance };
         println!(
             "{key:<28} {base:>14.3} {cur:>14.3} {:>8.1}%  {}",

@@ -1,18 +1,25 @@
-//! CI perf probe: a pinned dense synthetic workload run through both
+//! CI perf probe: a pinned dense synthetic workload run through the
 //! local-join backends, emitting a flat JSON report on stdout.
 //!
 //! The workload is fully deterministic (fixed sizes, seeds and engine
 //! knobs, no env scaling), so the work counters (`*_index_probes`,
-//! `*_items_scanned`, `*_candidates_visited`, `tuples_scored`) are exact
-//! run-to-run; the timing metrics take the best of [`RUNS`] repetitions
-//! to damp scheduler noise. `bench_check` compares this output against
-//! the committed `BENCH_BASELINE.json` and fails CI on >25% regressions.
+//! `*_items_scanned`, `*_candidates_visited`, `*_tuples_scored`,
+//! `*_buckets_*`, and the TopBuckets/distribution phase counters) are
+//! exact run-to-run; the timing metrics take the best of [`RUNS`]
+//! repetitions to damp scheduler noise. `bench_check` compares this
+//! output against the committed `BENCH_BASELINE.json` and fails CI on
+//! >25% regressions.
+//!
+//! Usage: `bench_smoke [backend...]` — backend names (`rtree`, `sweep`,
+//! `auto`) parsed with the `FromStr` registry; no arguments runs all
+//! three (the gated configuration). The probe-level microbench and the
+//! speedup ratios are emitted only when both fixed backends run.
 //!
 //! Refresh the baseline with:
 //! `cargo run --release -p tkij_bench --bin bench_smoke > BENCH_BASELINE.json`
 
 use std::time::{Duration, Instant};
-use tkij_core::{LocalJoinBackend, Tkij, TkijConfig};
+use tkij_core::{ExecutionReport, LocalJoinBackend, Tkij, TkijConfig};
 use tkij_datagen::synthetic::{uniform_collection, SyntheticConfig};
 use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex};
 use tkij_temporal::collection::CollectionId;
@@ -33,12 +40,21 @@ const GRANULES: u32 = 20;
 const REDUCERS: usize = 4;
 const K: usize = 100;
 
+/// One backend's measurement: the best-of reduce time plus the full
+/// (repetition-invariant) report every emitted counter derives from.
 struct BackendRun {
     reduce_ms: f64,
-    index_probes: u64,
-    items_scanned: u64,
-    candidates_visited: u64,
-    tuples_scored: u64,
+    report: ExecutionReport,
+}
+
+impl BackendRun {
+    fn candidates_visited(&self) -> u64 {
+        self.report.local_stats.iter().map(|s| s.candidates_visited).sum()
+    }
+
+    fn score_bits(&self) -> Vec<u64> {
+        self.report.results.iter().map(|t| t.score.to_bits()).collect()
+    }
 }
 
 fn run_backend(backend: LocalJoinBackend) -> BackendRun {
@@ -72,17 +88,10 @@ fn run_backend(backend: LocalJoinBackend) -> BackendRun {
         if reduce < best_reduce {
             best_reduce = reduce;
         }
-        out = Some(BackendRun {
-            reduce_ms: 0.0,
-            index_probes: report.index_probes(),
-            items_scanned: report.items_scanned(),
-            candidates_visited: report.local_stats.iter().map(|s| s.candidates_visited).sum(),
-            tuples_scored: report.tuples_scored(),
-        });
+        out = Some(report);
     }
-    let mut run = out.expect("at least one timed run");
-    run.reduce_ms = best_reduce.as_secs_f64() * 1e3;
-    run
+    let report = out.expect("at least one timed run");
+    BackendRun { reduce_ms: best_reduce.as_secs_f64() * 1e3, report }
 }
 
 /// Probe-level microbench: the same score-threshold window set against
@@ -121,39 +130,102 @@ fn probe_microbench<C: CandidateSource>() -> ProbeRun {
 }
 
 fn main() {
-    let rtree = run_backend(LocalJoinBackend::RTree);
-    let sweep = run_backend(LocalJoinBackend::Sweep);
-    let join_speedup = rtree.reduce_ms / sweep.reduce_ms.max(1e-9);
-    let rtree_probe = probe_microbench::<RTree>();
-    let sweep_probe = probe_microbench::<SweepIndex>();
-    let speedup = rtree_probe.probe_ms / sweep_probe.probe_ms.max(1e-9);
-    assert_eq!(rtree_probe.hits, sweep_probe.hits, "backends must agree on candidate sets");
+    // Flag-selected backends (FromStr registry); default: all three.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let backends: Vec<LocalJoinBackend> = if args.is_empty() {
+        LocalJoinBackend::all().iter().map(|&(_, b)| b).collect()
+    } else {
+        args.iter()
+            .map(|a| a.parse::<LocalJoinBackend>().unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    };
 
+    let runs: Vec<(LocalJoinBackend, BackendRun)> =
+        backends.iter().map(|&b| (b, run_backend(b))).collect();
+    // Every backend must produce the identical top-k score multiset.
+    for (b, run) in &runs[1..] {
+        assert_eq!(
+            run.score_bits(),
+            runs[0].1.score_bits(),
+            "{}: results diverge from {}",
+            b.name(),
+            backends[0].name()
+        );
+    }
+
+    let both_fixed =
+        backends.contains(&LocalJoinBackend::RTree) && backends.contains(&LocalJoinBackend::Sweep);
+    let find = |b: LocalJoinBackend| runs.iter().find(|(rb, _)| *rb == b).map(|(_, r)| r);
+
+    // Flat "key": number metric lines, in emission order.
+    let mut metrics: Vec<(String, String)> = Vec::new();
+    let mut push = |key: &str, value: String| metrics.push((key.to_string(), value));
+
+    if both_fixed {
+        let rtree_probe = probe_microbench::<RTree>();
+        let sweep_probe = probe_microbench::<SweepIndex>();
+        let speedup = rtree_probe.probe_ms / sweep_probe.probe_ms.max(1e-9);
+        assert_eq!(rtree_probe.hits, sweep_probe.hits, "backends must agree on candidate sets");
+        push("rtree_probe_ms", format!("{:.3}", rtree_probe.probe_ms));
+        push("sweep_probe_ms", format!("{:.3}", sweep_probe.probe_ms));
+        push("sweep_speedup", format!("{speedup:.3}"));
+        push("rtree_probe_scanned", rtree_probe.scanned.to_string());
+        push("sweep_probe_scanned", sweep_probe.scanned.to_string());
+        push("probe_hits", sweep_probe.hits.to_string());
+        let rt = find(LocalJoinBackend::RTree).expect("rtree ran");
+        let sw = find(LocalJoinBackend::Sweep).expect("sweep ran");
+        let join_speedup = rt.reduce_ms / sw.reduce_ms.max(1e-9);
+        push("join_speedup", format!("{join_speedup:.3}"));
+    }
+    for (b, run) in &runs {
+        let n = b.name();
+        push(&format!("{n}_join_reduce_ms"), format!("{:.3}", run.reduce_ms));
+        push(&format!("{n}_index_probes"), run.report.index_probes().to_string());
+        push(&format!("{n}_items_scanned"), run.report.items_scanned().to_string());
+        push(&format!("{n}_candidates_visited"), run.candidates_visited().to_string());
+        push(&format!("{n}_tuples_scored"), run.report.tuples_scored().to_string());
+        push(&format!("{n}_buckets_rtree"), run.report.buckets_rtree().to_string());
+        push(&format!("{n}_buckets_sweep"), run.report.buckets_sweep().to_string());
+    }
+    // Phase-level work counters (backend-independent: TopBuckets and
+    // distribution run before the join; take them from the first run and
+    // assert the independence).
+    let phase = &runs[0].1.report;
+    for (_, run) in &runs[1..] {
+        assert_eq!(
+            run.report.topbuckets.candidates, phase.topbuckets.candidates,
+            "phase counters must not depend on the join backend"
+        );
+        assert_eq!(
+            run.report.distribution.assignments_scored, phase.distribution.assignments_scored,
+            "phase counters must not depend on the join backend"
+        );
+    }
+    push("topbuckets_candidates", phase.topbuckets.candidates.to_string());
+    push("topbuckets_selected", phase.topbuckets.selected.to_string());
+    push("topbuckets_solver_calls", phase.topbuckets.solver_calls.to_string());
+    push("topbuckets_pruned_local", phase.topbuckets.pruned_local.to_string());
+    push("topbuckets_pruned_merge", phase.topbuckets.pruned_merge.to_string());
+    push("dtb_assignments_scored", phase.distribution.assignments_scored.to_string());
+    push("dtb_cap_fallbacks", phase.distribution.cap_fallbacks.to_string());
+    push("dtb_shuffle_records", phase.distribution.estimated_shuffle_records.to_string());
+    push("dtb_replication_factor", format!("{:.6}", phase.distribution.replication_factor));
+    push("dtb_result_imbalance", format!("{:.6}", phase.distribution.result_imbalance));
+
+    let names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
     println!("{{");
-    println!("  \"schema\": 1,");
+    println!("  \"schema\": 2,");
     println!(
         "  \"workload\": {{ \"collections\": 3, \"size\": {SIZE}, \"start_span\": {START_SPAN}, \
          \"granules\": {GRANULES}, \"reducers\": {REDUCERS}, \"k\": {K}, \"seed\": {SEED}, \
-         \"query\": \"q_om\" }},"
+         \"query\": \"q_om\", \"backends\": \"{}\" }},",
+        names.join("+")
     );
     println!("  \"metrics\": {{");
-    println!("    \"rtree_probe_ms\": {:.3},", rtree_probe.probe_ms);
-    println!("    \"sweep_probe_ms\": {:.3},", sweep_probe.probe_ms);
-    println!("    \"sweep_speedup\": {speedup:.3},");
-    println!("    \"rtree_probe_scanned\": {},", rtree_probe.scanned);
-    println!("    \"sweep_probe_scanned\": {},", sweep_probe.scanned);
-    println!("    \"probe_hits\": {},", sweep_probe.hits);
-    println!("    \"rtree_join_reduce_ms\": {:.3},", rtree.reduce_ms);
-    println!("    \"sweep_join_reduce_ms\": {:.3},", sweep.reduce_ms);
-    println!("    \"join_speedup\": {join_speedup:.3},");
-    println!("    \"rtree_index_probes\": {},", rtree.index_probes);
-    println!("    \"sweep_index_probes\": {},", sweep.index_probes);
-    println!("    \"rtree_items_scanned\": {},", rtree.items_scanned);
-    println!("    \"sweep_items_scanned\": {},", sweep.items_scanned);
-    println!("    \"rtree_candidates_visited\": {},", rtree.candidates_visited);
-    println!("    \"sweep_candidates_visited\": {},", sweep.candidates_visited);
-    println!("    \"rtree_tuples_scored\": {},", rtree.tuples_scored);
-    println!("    \"sweep_tuples_scored\": {}", sweep.tuples_scored);
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        println!("    \"{key}\": {value}{comma}");
+    }
     println!("  }}");
     println!("}}");
 }

@@ -217,12 +217,20 @@ pub fn enumerate_combos(
 /// 10c's "%results pruned").
 #[derive(Debug, Clone, Default)]
 pub struct TopBucketsStats {
-    /// `|Ω|`: combinations considered.
+    /// `|Ω|`: combinations considered (examined by a bound computation).
     pub candidates: usize,
     /// `|Ω_{k,S}|`: combinations selected.
     pub selected: usize,
     /// Solver invocations (pairs and/or n-ary).
     pub solver_calls: usize,
+    /// Combinations pruned by the per-group local `getTopBuckets`
+    /// selections (before the merge).
+    pub pruned_local: usize,
+    /// Combinations pruned at the merge selection(s) — including the
+    /// two-phase post-refinement re-selection.
+    pub pruned_merge: usize,
+    /// Worker groups the candidate space was partitioned into.
+    pub worker_groups: usize,
     /// Σ nbRes over Ω.
     pub total_results: u128,
     /// Σ nbRes over Ω_{k,S}.

@@ -1,6 +1,34 @@
 //! TKIJ engine configuration.
 
+use std::fmt;
+use std::str::FromStr;
 use tkij_solver::SolverConfig;
+
+/// Error returned when parsing a configuration variant name fails.
+/// Carries the offending input and the accepted names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVariantError {
+    /// What was being parsed ("strategy", "backend", "policy").
+    pub what: &'static str,
+    /// The rejected input.
+    pub input: String,
+    /// The accepted names.
+    pub expected: &'static [&'static str],
+}
+
+impl fmt::Display for ParseVariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} {:?} (expected one of: {})",
+            self.what,
+            self.input,
+            self.expected.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseVariantError {}
 
 /// The TopBuckets strategy (paper §3.3, Algorithm 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +63,25 @@ impl Strategy {
     }
 }
 
+impl FromStr for Strategy {
+    type Err = ParseVariantError;
+
+    /// Parses a paper strategy name (case-insensitive; `_` ≡ `-`), so
+    /// bench bins and CI can select variants by flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "brute-force" => Ok(Strategy::BruteForce),
+            "loose" => Ok(Strategy::Loose),
+            "two-phase" => Ok(Strategy::TwoPhase),
+            _ => Err(ParseVariantError {
+                what: "strategy",
+                input: s.to_string(),
+                expected: &["brute-force", "loose", "two-phase"],
+            }),
+        }
+    }
+}
+
 /// The candidate-source backend of the reducer-local rank-join.
 ///
 /// The paper's implementation keeps each bucket's intervals "in memory
@@ -43,6 +90,9 @@ impl Strategy {
 /// (Piatov et al.). Both backends answer the same score-threshold window
 /// queries and produce identical top-k results (property-tested); sweep
 /// is the default because it is measurably faster on the hot path.
+/// [`LocalJoinBackend::Auto`] picks one of the two per reducer bucket
+/// from the bucket's cardinality/density statistics (the fig15 density
+/// sweep shows the crossover is a function of bucket density).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LocalJoinBackend {
     /// STR bulk-loaded R-tree over endpoint points (the paper's choice).
@@ -50,12 +100,20 @@ pub enum LocalJoinBackend {
     /// Endpoint-sorted sweeping store with gapless lanes.
     #[default]
     Sweep,
+    /// Per-bucket selection between the two fixed backends, driven by the
+    /// bucket's cardinality/density profile (see
+    /// `tkij_core::localjoin::select_backend`).
+    Auto,
 }
 
 impl LocalJoinBackend {
     /// All backends with display names, for harness sweeps.
-    pub fn all() -> [(&'static str, LocalJoinBackend); 2] {
-        [("rtree", LocalJoinBackend::RTree), ("sweep", LocalJoinBackend::Sweep)]
+    pub fn all() -> [(&'static str, LocalJoinBackend); 3] {
+        [
+            ("rtree", LocalJoinBackend::RTree),
+            ("sweep", LocalJoinBackend::Sweep),
+            ("auto", LocalJoinBackend::Auto),
+        ]
     }
 
     /// Display name of the backend.
@@ -63,6 +121,26 @@ impl LocalJoinBackend {
         match self {
             LocalJoinBackend::RTree => "rtree",
             LocalJoinBackend::Sweep => "sweep",
+            LocalJoinBackend::Auto => "auto",
+        }
+    }
+}
+
+impl FromStr for LocalJoinBackend {
+    type Err = ParseVariantError;
+
+    /// Parses a backend display name (case-insensitive), including
+    /// `auto`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rtree" | "r-tree" => Ok(LocalJoinBackend::RTree),
+            "sweep" => Ok(LocalJoinBackend::Sweep),
+            "auto" => Ok(LocalJoinBackend::Auto),
+            _ => Err(ParseVariantError {
+                what: "backend",
+                input: s.to_string(),
+                expected: &["rtree", "sweep", "auto"],
+            }),
         }
     }
 }
@@ -84,6 +162,23 @@ impl DistributionPolicy {
         match self {
             DistributionPolicy::Dtb => "DTB",
             DistributionPolicy::Lpt => "LPT",
+        }
+    }
+}
+
+impl FromStr for DistributionPolicy {
+    type Err = ParseVariantError;
+
+    /// Parses a paper policy name (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "dtb" => Ok(DistributionPolicy::Dtb),
+            "lpt" => Ok(DistributionPolicy::Lpt),
+            _ => Err(ParseVariantError {
+                what: "policy",
+                input: s.to_string(),
+                expected: &["DTB", "LPT"],
+            }),
         }
     }
 }
@@ -192,11 +287,46 @@ mod tests {
     #[test]
     fn backend_registry_names() {
         let names: Vec<_> = LocalJoinBackend::all().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, ["rtree", "sweep"]);
+        assert_eq!(names, ["rtree", "sweep", "auto"]);
         assert_eq!(LocalJoinBackend::RTree.name(), "rtree");
+        assert_eq!(LocalJoinBackend::Auto.name(), "auto");
         assert_eq!(LocalJoinBackend::default().name(), "sweep");
         let c = TkijConfig::default().with_local_backend(LocalJoinBackend::RTree);
         assert_eq!(c.local_backend, LocalJoinBackend::RTree);
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for (name, strategy) in Strategy::all() {
+            assert_eq!(name.parse::<Strategy>().unwrap(), strategy);
+            assert_eq!(strategy.name().parse::<Strategy>().unwrap(), strategy);
+        }
+        for (name, backend) in LocalJoinBackend::all() {
+            assert_eq!(name.parse::<LocalJoinBackend>().unwrap(), backend);
+            assert_eq!(backend.name().parse::<LocalJoinBackend>().unwrap(), backend);
+        }
+        for policy in [DistributionPolicy::Dtb, DistributionPolicy::Lpt] {
+            assert_eq!(policy.name().parse::<DistributionPolicy>().unwrap(), policy);
+        }
+    }
+
+    #[test]
+    fn fromstr_accepts_flag_style_spellings() {
+        assert_eq!("AUTO".parse::<LocalJoinBackend>().unwrap(), LocalJoinBackend::Auto);
+        assert_eq!("R-Tree".parse::<LocalJoinBackend>().unwrap(), LocalJoinBackend::RTree);
+        assert_eq!("two_phase".parse::<Strategy>().unwrap(), Strategy::TwoPhase);
+        assert_eq!("Brute-Force".parse::<Strategy>().unwrap(), Strategy::BruteForce);
+        assert_eq!("dtb".parse::<DistributionPolicy>().unwrap(), DistributionPolicy::Dtb);
+        assert_eq!("lpt".parse::<DistributionPolicy>().unwrap(), DistributionPolicy::Lpt);
+    }
+
+    #[test]
+    fn fromstr_rejects_unknown_names_with_expectations() {
+        let err = "btree".parse::<LocalJoinBackend>().unwrap_err();
+        assert_eq!(err.what, "backend");
+        assert!(err.to_string().contains("rtree, sweep, auto"), "{err}");
+        assert!("eager".parse::<Strategy>().is_err());
+        assert!("round-robin".parse::<DistributionPolicy>().is_err());
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub struct Assignment {
     /// `estimated_shuffle_records / Σ |b|` over distinct needed buckets:
     /// the average number of reducers each needed record is shipped to.
     pub replication_factor: f64,
+    /// (combo, reducer) candidacies scored while assigning: DTB counts
+    /// every eligible reducer whose input cost was evaluated, LPT every
+    /// reducer scanned by its least-loaded search. Deterministic work
+    /// counter of the distribution phase.
+    pub assignments_scored: u64,
+    /// Times the `2 × avgRes` worst-case cap excluded every reducer and
+    /// the least-loaded fallback decided (Algorithm 4's degenerate case).
+    pub cap_fallbacks: u64,
     /// Wall time of the distribution phase.
     pub duration: Duration,
 }
@@ -96,6 +104,8 @@ pub fn distribute(
     let mut reducer_combos: Vec<Vec<u32>> = vec![Vec::new(); r];
     let mut reducer_results: Vec<u128> = vec![0; r];
     let mut assigned: HashMap<VertexBucket, Vec<u32>> = HashMap::new();
+    let mut assignments_scored = 0u64;
+    let mut cap_fallbacks = 0u64;
     let bucket_count =
         |v: usize, b: BucketId| -> u64 { matrices[query.vertices[v].0 as usize].count(b) };
 
@@ -103,16 +113,22 @@ pub fn distribute(
         let ci = ci as usize;
         let buckets = combos.buckets(ci);
         let rj = match policy {
-            DistributionPolicy::Dtb => get_reducer(
-                buckets,
-                avg_res,
-                &reducer_combos,
-                &reducer_results,
-                &assigned,
-                &bucket_count,
-            ),
+            DistributionPolicy::Dtb => {
+                let pick = get_reducer(
+                    buckets,
+                    avg_res,
+                    &reducer_combos,
+                    &reducer_results,
+                    &assigned,
+                    &bucket_count,
+                );
+                assignments_scored += pick.scored;
+                cap_fallbacks += pick.fell_back as u64;
+                pick.reducer
+            }
             DistributionPolicy::Lpt => {
                 // Least loaded by potential results; ties → lowest index.
+                assignments_scored += r as u64;
                 (0..r).min_by_key(|&j| (reducer_results[j], j)).expect("r ≥ 1")
             }
         };
@@ -147,8 +163,21 @@ pub fn distribute(
         bucket_map,
         estimated_shuffle_records: shuffle,
         replication_factor: if distinct == 0 { 1.0 } else { shuffle as f64 / distinct as f64 },
+        assignments_scored,
+        cap_fallbacks,
         duration: started.elapsed(),
     }
+}
+
+/// One `getReducer` decision plus its work accounting.
+struct ReducerPick {
+    /// The chosen reducer.
+    reducer: usize,
+    /// Candidate reducers whose assignment was scored (cost evaluations,
+    /// or reducers scanned by a fallback search).
+    scored: u64,
+    /// Whether the `2 × avgRes` cap excluded everyone.
+    fell_back: bool,
 }
 
 /// Algorithm 4 (`getReducer`): among reducers under the `2 × avgRes`
@@ -162,7 +191,7 @@ fn get_reducer(
     reducer_results: &[u128],
     assigned: &HashMap<VertexBucket, Vec<u32>>,
     bucket_count: &dyn Fn(usize, BucketId) -> u64,
-) -> usize {
+) -> ReducerPick {
     let r = reducer_combos.len();
     let eligible =
         |j: usize| -> bool { (reducer_results[j] as f64) < 2.0 * avg_res || avg_res == 0.0 };
@@ -170,15 +199,18 @@ fn get_reducer(
     let min_assigned = (0..r).filter(|&j| eligible(j)).map(|j| reducer_combos[j].len()).min();
     let Some(min_assigned) = min_assigned else {
         // Every reducer is past the cap: least-loaded fallback.
-        return (0..r).min_by_key(|&j| (reducer_results[j], j)).expect("r ≥ 1");
+        let reducer = (0..r).min_by_key(|&j| (reducer_results[j], j)).expect("r ≥ 1");
+        return ReducerPick { reducer, scored: r as u64, fell_back: true };
     };
     // Lines 5–10: minimize the cost of input not yet present.
     let mut best = usize::MAX;
     let mut best_cost = u64::MAX;
+    let mut scored = 0u64;
     for (j, combos_j) in reducer_combos.iter().enumerate() {
         if !eligible(j) || combos_j.len() != min_assigned {
             continue;
         }
+        scored += 1;
         let mut cost = 0u64;
         for (v, &b) in buckets.iter().enumerate() {
             let already = assigned.get(&(v as u16, b)).is_some_and(|rs| rs.contains(&(j as u32)));
@@ -192,7 +224,7 @@ fn get_reducer(
         }
     }
     debug_assert!(best != usize::MAX);
-    best
+    ReducerPick { reducer: best, scored, fell_back: false }
 }
 
 #[cfg(test)]
@@ -354,6 +386,47 @@ mod tests {
         // Records: (0,0)×2 reducers ×3 + (1,1)×3 + (2,2)×3 = 12.
         assert_eq!(a.estimated_shuffle_records, 12);
         assert!((a.replication_factor - 12.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_counters_are_filled_and_bounded() {
+        let (q, m) = setup(2, 8);
+        let combos = combos_with_bounds(8, 2);
+        for policy in [Dtb, Lpt] {
+            let a = distribute(&combos, policy, 4, &q, &m);
+            assert!(a.assignments_scored > 0, "{policy:?}");
+            // Never more candidacies than combos × reducers.
+            assert!(a.assignments_scored <= combos.len() as u64 * 4, "{policy:?}");
+            assert_eq!(a.cap_fallbacks, 0, "{policy:?}: balanced load never trips the cap");
+        }
+        // LPT scans every reducer for every combination, exactly.
+        let lpt = distribute(&combos, Lpt, 4, &q, &m);
+        assert_eq!(lpt.assignments_scored, combos.len() as u64 * 4);
+    }
+
+    #[test]
+    fn cap_fallback_path_is_counted() {
+        // Through `distribute` the fallback is unreachable (all reducers
+        // past 2×avgRes would sum past the total), so `cap_fallbacks`
+        // gates as a constant 0 — but the defensive path itself must
+        // still decide correctly. Exercise it directly with a doctored
+        // load vector where every reducer is past the cap.
+        let (_, m) = setup(2, 8);
+        let bucket_count = |v: usize, b: BucketId| -> u64 {
+            let _ = v;
+            m[0].count(b)
+        };
+        let pick = get_reducer(
+            &[BucketId::new(0, 0), BucketId::new(1, 1)],
+            1.0, // avg 1 → cap 2; both reducers are far past it
+            &[vec![0], vec![1]],
+            &[100, 50],
+            &HashMap::new(),
+            &bucket_count,
+        );
+        assert!(pick.fell_back);
+        assert_eq!(pick.reducer, 1, "least-loaded fallback");
+        assert_eq!(pick.scored, 2, "fallback scans every reducer");
     }
 
     #[test]

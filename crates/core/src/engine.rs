@@ -140,6 +140,8 @@ impl Tkij {
                 replication_factor: assignment.replication_factor,
                 estimated_shuffle_records: assignment.estimated_shuffle_records,
                 result_imbalance: assignment.result_imbalance(),
+                assignments_scored: assignment.assignments_scored,
+                cap_fallbacks: assignment.cap_fallbacks,
             },
             join: join_metrics,
             merge: merge_metrics,
@@ -163,6 +165,11 @@ pub struct DistributionSummary {
     pub estimated_shuffle_records: u64,
     /// Worst-case `max/avg` potential-result imbalance.
     pub result_imbalance: f64,
+    /// (combo, reducer) candidacies scored while assigning (deterministic
+    /// work counter; see `Assignment::assignments_scored`).
+    pub assignments_scored: u64,
+    /// Times the `2 × avgRes` cap excluded every reducer.
+    pub cap_fallbacks: u64,
 }
 
 /// Everything one TKIJ execution produces: the exact top-k plus the
@@ -233,6 +240,18 @@ impl ExecutionReport {
     /// the per-backend scan-effort the bench harnesses compare.
     pub fn items_scanned(&self) -> u64 {
         self.local_stats.iter().map(|s| s.items_scanned).sum()
+    }
+
+    /// Reducer buckets indexed with the R-tree across all reducers (under
+    /// [`LocalJoinBackend::Auto`]: the selector's choices; with a fixed
+    /// backend: all or none).
+    pub fn buckets_rtree(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.buckets_rtree).sum()
+    }
+
+    /// Reducer buckets indexed with the sweeping store across reducers.
+    pub fn buckets_sweep(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.buckets_sweep).sum()
     }
 
     /// Share of the potential result space pruned by TopBuckets (Fig 10c).
@@ -364,10 +383,43 @@ mod tests {
         assert_eq!(report.backend, LocalJoinBackend::Sweep, "default backend");
         assert!(report.index_probes() > 0, "probes are counted");
         assert!(report.items_scanned() > 0, "scan effort is counted");
+        // Phase-level work counters are filled and self-consistent.
+        assert!(report.distribution.assignments_scored > 0, "distribution work is counted");
+        assert_eq!(report.distribution.cap_fallbacks, 0);
+        assert_eq!(
+            report.topbuckets.candidates
+                - report.topbuckets.pruned_local
+                - report.topbuckets.pruned_merge,
+            report.topbuckets.selected,
+            "TopBuckets pruning counters account for every candidate"
+        );
+        assert!(report.topbuckets.worker_groups >= 1);
+        // The fixed sweep backend indexes every bucket with the sweep.
+        assert!(report.buckets_sweep() > 0);
+        assert_eq!(report.buckets_rtree(), 0);
         // The join shuffle matches the assignment estimate.
         assert_eq!(
             report.join.total_shuffle_records(),
             report.distribution.estimated_shuffle_records
+        );
+    }
+
+    #[test]
+    fn auto_backend_end_to_end_matches_naive_and_records_choices() {
+        let tk = Tkij::new(
+            TkijConfig::default()
+                .with_granules(6)
+                .with_reducers(4)
+                .with_local_backend(LocalJoinBackend::Auto),
+        );
+        let dataset = tk.prepare(uniform_collections(3, 70, 1234)).unwrap();
+        let q = table1::q_om(PredicateParams::P1);
+        let report = tk.execute(&dataset, &q, 8).unwrap();
+        assert_exact("auto", &q, &dataset, &report, 8);
+        assert_eq!(report.backend, LocalJoinBackend::Auto);
+        assert!(
+            report.buckets_rtree() + report.buckets_sweep() > 0,
+            "auto records a choice per indexed bucket"
         );
     }
 

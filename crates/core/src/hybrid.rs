@@ -167,6 +167,8 @@ pub fn execute_hybrid(
             replication_factor: assignment.replication_factor,
             estimated_shuffle_records: assignment.estimated_shuffle_records,
             result_imbalance: assignment.result_imbalance(),
+            assignments_scored: assignment.assignments_scored,
+            cap_fallbacks: assignment.cap_fallbacks,
         },
         join: join_metrics,
         merge: merge_metrics,

@@ -39,12 +39,16 @@ pub mod stats;
 pub mod topbuckets;
 
 pub use combos::{ComboSet, TopBucketsStats, VertexBuckets};
-pub use config::{DistributionPolicy, LocalJoinBackend, Strategy, TkijConfig};
+pub use config::{DistributionPolicy, LocalJoinBackend, ParseVariantError, Strategy, TkijConfig};
 pub use distribute::{distribute, Assignment};
 pub use engine::{DistributionSummary, ExecutionReport, Tkij};
 pub use joinphase::{run_join_phase, run_join_phase_with, ReducerOutput};
-pub use localjoin::{local_topk_join, local_topk_join_on, LocalJoinStats};
+pub use localjoin::{
+    local_topk_join, local_topk_join_on, local_topk_join_planned, select_backend, AutoIndex,
+    BackendChoices, LocalJoinStats, AUTO_DENSITY_THRESHOLD, AUTO_RTREE_BAND_MIN_DENSITY,
+    AUTO_RTREE_MIN_CARDINALITY,
+};
 pub use merge::run_merge_phase;
 pub use naive::{all_pair_scores, naive_boolean, naive_topk};
-pub use stats::{collect_statistics, PreparedDataset};
+pub use stats::{collect_statistics, BucketProfile, DensityMatrix, PreparedDataset};
 pub use topbuckets::{get_top_buckets, run_topbuckets};

@@ -28,8 +28,9 @@
 
 use crate::combos::ComboSet;
 use crate::config::LocalJoinBackend;
+use crate::stats::BucketProfile;
 use std::collections::HashMap;
-use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex};
+use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex, Window};
 use tkij_temporal::bucket::BucketId;
 use tkij_temporal::expr::Side;
 use tkij_temporal::interval::Interval;
@@ -52,9 +53,147 @@ pub struct LocalJoinStats {
     /// Stored items the index examined serving those probes (≥
     /// `candidates_visited`; the gap is the backend's scan overhead).
     pub items_scanned: u64,
+    /// Reducer buckets indexed with the R-tree (with a fixed backend:
+    /// all or none; under [`LocalJoinBackend::Auto`]: the selector's
+    /// per-bucket choices).
+    pub buckets_rtree: u64,
+    /// Reducer buckets indexed with the sweeping store.
+    pub buckets_sweep: u64,
     /// Minimum score among the returned local top-k (Fig. 8c), 0 when
     /// empty.
     pub kth_score: f64,
+}
+
+/// Density at or above which a bucket always uses the sweeping store
+/// under [`LocalJoinBackend::Auto`]: window populations converge to the
+/// swept run lengths, so the sweep examines essentially only the hit set
+/// while the R-tree still touches whole leaf stripes.
+pub const AUTO_DENSITY_THRESHOLD: f64 = 40.0;
+
+/// Lower density edge of the R-tree band (see [`select_backend`]).
+pub const AUTO_RTREE_BAND_MIN_DENSITY: f64 = 8.0;
+
+/// Minimum bucket cardinality for the R-tree band: below it the window
+/// runs are shorter than the R-tree's per-probe leaf floor (`FANOUT`
+/// items per touched leaf), so sweeping always examines less.
+pub const AUTO_RTREE_MIN_CARDINALITY: u64 = 256;
+
+/// The per-bucket backend selector of [`LocalJoinBackend::Auto`]. Never
+/// returns [`LocalJoinBackend::Auto`].
+///
+/// Calibrated against the fig15 density sweep's per-point scan effort
+/// (`items_scanned`), whose crossover is **banded**, not monotone:
+///
+/// * small buckets (`cardinality < 256`) → **sweep**: probe runs are
+///   shorter than the R-tree's touched-leaf floor (16 items per leaf),
+///   so the sweep examines strictly less at every density measured;
+/// * populous mid-density buckets (density in `[8, 40)`) → **R-tree**:
+///   with enough items the STR tiling resolves two-axis windows finer
+///   than any single endpoint run, and measured scans undercut the sweep
+///   by up to ~15%;
+/// * very dense buckets (density ≥ 40) → **sweep**: runs ≈ hit sets, and
+///   the sweep's advantage grows with density (fig15's dense regime);
+/// * sparse populous buckets (density < 8) → **sweep**: the backends tie
+///   within a few percent and the sweep's linear lanes are cheaper per
+///   examined item.
+///
+/// The profile can come from the collected statistics
+/// ([`crate::stats::PreparedDataset::bucket_profile`]) or from the
+/// bucket's shipped interval slice ([`BucketProfile::from_intervals`]) —
+/// the two are identical by construction (tested), so selection is
+/// deterministic wherever it runs.
+pub fn select_backend(profile: &BucketProfile) -> LocalJoinBackend {
+    let density = profile.density();
+    if profile.cardinality >= AUTO_RTREE_MIN_CARDINALITY
+        && (AUTO_RTREE_BAND_MIN_DENSITY..AUTO_DENSITY_THRESHOLD).contains(&density)
+    {
+        LocalJoinBackend::RTree
+    } else {
+        LocalJoinBackend::Sweep
+    }
+}
+
+/// The per-bucket backend plan of one [`LocalJoinBackend::Auto`] join:
+/// the fixed backend chosen for each (vertex, bucket). The engine builds
+/// it **once** from the collected statistics
+/// ([`crate::stats::PreparedDataset::bucket_profile`]) and every reducer
+/// reads it, so replicated buckets are not re-profiled per reducer.
+pub type BackendChoices = HashMap<(u16, BucketId), LocalJoinBackend>;
+
+/// The [`LocalJoinBackend::Auto`] candidate source: each bucket builds
+/// whichever fixed backend [`select_backend`] picks for its profile, and
+/// serves probes through it.
+#[derive(Debug, Clone)]
+pub enum AutoIndex {
+    /// The bucket was sparse/small: the paper's R-tree access path.
+    RTree(RTree),
+    /// The bucket was dense: the sweeping endpoint store.
+    Sweep(SweepIndex),
+}
+
+impl AutoIndex {
+    /// Builds the index for an already-made fixed-backend choice
+    /// (planned from the collected statistics). [`LocalJoinBackend::Auto`]
+    /// as `choice` is treated as "decide here" from the slice profile.
+    pub fn build_chosen(choice: LocalJoinBackend, items: Vec<Interval>) -> Self {
+        let choice = match choice {
+            LocalJoinBackend::Auto => select_backend(&BucketProfile::from_intervals(&items)),
+            fixed => fixed,
+        };
+        match choice {
+            LocalJoinBackend::RTree => AutoIndex::RTree(RTree::bulk_load(items)),
+            _ => AutoIndex::Sweep(SweepIndex::build(items)),
+        }
+    }
+}
+
+impl CandidateSource for AutoIndex {
+    fn build(items: Vec<Interval>) -> Self {
+        Self::build_chosen(LocalJoinBackend::Auto, items)
+    }
+
+    fn items(&self) -> &[Interval] {
+        match self {
+            AutoIndex::RTree(t) => t.items(),
+            AutoIndex::Sweep(s) => s.items(),
+        }
+    }
+
+    fn probe<'t>(&'t self, window: &Window, visit: &mut dyn FnMut(&'t Interval)) -> u64 {
+        match self {
+            AutoIndex::RTree(t) => t.probe(window, visit),
+            AutoIndex::Sweep(s) => s.probe(window, visit),
+        }
+    }
+}
+
+/// Reports which fixed backend actually serves an index's probes, so the
+/// join can record the per-bucket choice in [`LocalJoinStats`].
+pub trait ChosenBackend {
+    /// The fixed backend behind this index (never
+    /// [`LocalJoinBackend::Auto`]).
+    fn chosen(&self) -> LocalJoinBackend;
+}
+
+impl ChosenBackend for RTree {
+    fn chosen(&self) -> LocalJoinBackend {
+        LocalJoinBackend::RTree
+    }
+}
+
+impl ChosenBackend for SweepIndex {
+    fn chosen(&self) -> LocalJoinBackend {
+        LocalJoinBackend::Sweep
+    }
+}
+
+impl ChosenBackend for AutoIndex {
+    fn chosen(&self) -> LocalJoinBackend {
+        match self {
+            AutoIndex::RTree(_) => LocalJoinBackend::RTree,
+            AutoIndex::Sweep(_) => LocalJoinBackend::Sweep,
+        }
+    }
 }
 
 /// A predicate over *partial* tuples (entries are `None` until their
@@ -109,7 +248,9 @@ pub fn local_topk_join_with(
 
 /// [`local_topk_join_with`] on an explicit candidate-source backend.
 /// Dispatches once per reducer; the join itself is monomorphized per
-/// backend.
+/// backend. With [`LocalJoinBackend::Auto`] and no pre-planned choices,
+/// each bucket decides from its shipped slice's profile (identical to
+/// the statistics-derived plan by construction).
 #[allow(clippy::too_many_arguments)]
 pub fn local_topk_join_on(
     backend: LocalJoinBackend,
@@ -121,19 +262,17 @@ pub fn local_topk_join_on(
     data: &HashMap<(u16, BucketId), Vec<Interval>>,
     filter: Option<&dyn TupleFilter>,
 ) -> (TopK, LocalJoinStats) {
-    match backend {
-        LocalJoinBackend::RTree => {
-            join_generic::<RTree>(query, plan, k, combos, combo_indices, data, filter)
-        }
-        LocalJoinBackend::Sweep => {
-            join_generic::<SweepIndex>(query, plan, k, combos, combo_indices, data, filter)
-        }
-    }
+    local_topk_join_planned(backend, query, plan, k, combos, combo_indices, data, filter, None)
 }
 
-/// The backend-generic rank-join body.
+/// [`local_topk_join_on`] with an optional per-bucket backend plan
+/// (derived from the collected statistics; only read under
+/// [`LocalJoinBackend::Auto`]). This is the join-phase entry point: the
+/// engine plans choices once from `PreparedDataset::bucket_profile` and
+/// ships the plan to every reducer.
 #[allow(clippy::too_many_arguments)]
-fn join_generic<C: CandidateSource>(
+pub fn local_topk_join_planned(
+    backend: LocalJoinBackend,
     query: &Query,
     plan: &JoinPlan,
     k: usize,
@@ -141,13 +280,54 @@ fn join_generic<C: CandidateSource>(
     combo_indices: &[u32],
     data: &HashMap<(u16, BucketId), Vec<Interval>>,
     filter: Option<&dyn TupleFilter>,
+    choices: Option<&BackendChoices>,
+) -> (TopK, LocalJoinStats) {
+    match backend {
+        LocalJoinBackend::RTree => {
+            join_generic(query, plan, k, combos, combo_indices, data, filter, |_, items| {
+                RTree::bulk_load(items)
+            })
+        }
+        LocalJoinBackend::Sweep => {
+            join_generic(query, plan, k, combos, combo_indices, data, filter, |_, items| {
+                SweepIndex::build(items)
+            })
+        }
+        LocalJoinBackend::Auto => {
+            join_generic(query, plan, k, combos, combo_indices, data, filter, |key, items| {
+                let choice =
+                    choices.and_then(|c| c.get(key).copied()).unwrap_or(LocalJoinBackend::Auto);
+                AutoIndex::build_chosen(choice, items)
+            })
+        }
+    }
+}
+
+/// The backend-generic rank-join body. `build` constructs one bucket's
+/// index from its (vertex, bucket) key and shipped intervals.
+#[allow(clippy::too_many_arguments)]
+fn join_generic<C: CandidateSource + ChosenBackend>(
+    query: &Query,
+    plan: &JoinPlan,
+    k: usize,
+    combos: &ComboSet,
+    combo_indices: &[u32],
+    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    filter: Option<&dyn TupleFilter>,
+    build: impl Fn(&(u16, BucketId), Vec<Interval>) -> C,
 ) -> (TopK, LocalJoinStats) {
     let mut stats = LocalJoinStats { combos_assigned: combo_indices.len(), ..Default::default() };
     let mut topk = TopK::new(k);
 
     // Index every shipped bucket once; reused across combinations.
     let indexes: HashMap<(u16, BucketId), C> =
-        data.iter().map(|(&key, intervals)| (key, C::build(intervals.clone()))).collect();
+        data.iter().map(|(&key, intervals)| (key, build(&key, intervals.clone()))).collect();
+    for index in indexes.values() {
+        match index.chosen() {
+            LocalJoinBackend::RTree => stats.buckets_rtree += 1,
+            _ => stats.buckets_sweep += 1,
+        }
+    }
 
     // Access order: descending upper bound (paper §4).
     let mut order: Vec<u32> = combo_indices.to_vec();
@@ -600,6 +780,10 @@ mod tests {
         assert!(rt_stats.index_probes > 0 && sw_stats.index_probes > 0);
         assert!(rt_stats.items_scanned >= rt_stats.candidates_visited);
         assert!(sw_stats.items_scanned >= sw_stats.candidates_visited);
+        // Fixed backends index every bucket with their own structure.
+        assert!(rt_stats.buckets_rtree > 0 && rt_stats.buckets_sweep == 0);
+        assert!(sw_stats.buckets_sweep > 0 && sw_stats.buckets_rtree == 0);
+        assert_eq!(rt_stats.buckets_rtree, sw_stats.buckets_sweep, "same shipped buckets");
         // The perf property this backend exists for: the sweep store
         // examines at most the R-tree's items for the same join (it scans
         // the tighter of the two endpoint runs; the R-tree scans every
@@ -610,6 +794,100 @@ mod tests {
             sw_stats.items_scanned,
             rt_stats.items_scanned
         );
+    }
+
+    #[test]
+    fn selector_is_density_and_cardinality_driven() {
+        // Very dense → sweep, at any cardinality.
+        let dense = BucketProfile { cardinality: 1_000, duration_sum: 90_000, span: 1_000 };
+        assert!(dense.density() >= AUTO_DENSITY_THRESHOLD);
+        assert_eq!(select_backend(&dense), LocalJoinBackend::Sweep);
+        // Populous mid-density band → rtree.
+        let banded = BucketProfile { cardinality: 300, duration_sum: 15_000, span: 1_000 };
+        assert!(banded.density() >= AUTO_RTREE_BAND_MIN_DENSITY);
+        assert!(banded.density() < AUTO_DENSITY_THRESHOLD);
+        assert_eq!(select_backend(&banded), LocalJoinBackend::RTree);
+        // Mid-density but small → sweep (below the R-tree leaf floor).
+        let small = BucketProfile { cardinality: 100, duration_sum: 15_000, span: 1_000 };
+        assert_eq!(select_backend(&small), LocalJoinBackend::Sweep);
+        // Sparse populous → sweep (backends tie; sweep is cheaper/item).
+        let sparse = BucketProfile { cardinality: 10_000, duration_sum: 10_000, span: 1_000_000 };
+        assert_eq!(select_backend(&sparse), LocalJoinBackend::Sweep);
+        // Band edges are half-open: density exactly 40 flips to sweep.
+        let at_edge = BucketProfile { cardinality: 1_000, duration_sum: 40_000, span: 1_000 };
+        assert_eq!(at_edge.density(), AUTO_DENSITY_THRESHOLD);
+        assert_eq!(select_backend(&at_edge), LocalJoinBackend::Sweep);
+        // Empty → a fixed backend, never Auto.
+        assert_eq!(select_backend(&BucketProfile::default()), LocalJoinBackend::Sweep);
+    }
+
+    #[test]
+    fn auto_matches_fixed_backends_and_records_choices() {
+        let collections = random_collections(41, 3, 60, 300);
+        let q = table1::q_om(PredicateParams::P1);
+        let (combos, indices, data) = full_setup(&q, &collections, 6);
+        let plan = q.plan();
+        let (auto_topk, auto_stats) = local_topk_join_on(
+            LocalJoinBackend::Auto,
+            &q,
+            &plan,
+            10,
+            &combos,
+            &indices,
+            &data,
+            None,
+        );
+        let (sw_topk, _) = local_topk_join_on(
+            LocalJoinBackend::Sweep,
+            &q,
+            &plan,
+            10,
+            &combos,
+            &indices,
+            &data,
+            None,
+        );
+        // Bitwise-identical score multiset vs a fixed backend.
+        let a = auto_topk.into_sorted_vec();
+        let b = sw_topk.into_sorted_vec();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        // Every shipped bucket got exactly one choice, and the recorded
+        // split equals what the selector says about each bucket's slice.
+        assert_eq!(
+            auto_stats.buckets_rtree + auto_stats.buckets_sweep,
+            data.len() as u64,
+            "one backend choice per shipped bucket"
+        );
+        let expect_sweep = data
+            .values()
+            .filter(|ivs| {
+                select_backend(&BucketProfile::from_intervals(ivs)) == LocalJoinBackend::Sweep
+            })
+            .count() as u64;
+        assert_eq!(auto_stats.buckets_sweep, expect_sweep, "choices match the selector");
+    }
+
+    #[test]
+    fn auto_index_dispatches_to_the_selected_backend() {
+        // A very dense bucket builds the sweep store; a populous
+        // mid-density one the R-tree.
+        let dense: Vec<Interval> =
+            (0..100).map(|i| Interval::new_unchecked(i, i as i64, i as i64 + 80)).collect();
+        let banded: Vec<Interval> =
+            (0..300).map(|i| Interval::new_unchecked(i, i as i64, i as i64 + 14)).collect();
+        let d = AutoIndex::build(dense);
+        let b = AutoIndex::build(banded.clone());
+        assert_eq!(d.chosen(), LocalJoinBackend::Sweep);
+        assert_eq!(
+            select_backend(&BucketProfile::from_intervals(&banded)),
+            LocalJoinBackend::RTree
+        );
+        assert_eq!(b.chosen(), LocalJoinBackend::RTree);
+        assert_eq!(d.len(), 100);
+        assert_eq!(b.len(), 300);
     }
 
     #[test]

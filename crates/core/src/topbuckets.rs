@@ -144,6 +144,7 @@ pub fn run_topbuckets(
     let len0 = per_vertex[0].len();
     let workers = workers.clamp(1, len0);
     let group = len0.div_ceil(workers);
+    stats.worker_groups = workers;
     let mut merged = ComboSet::new(n);
     for w in 0..workers {
         let range = (w * group).min(len0)..((w + 1) * group).min(len0);
@@ -160,11 +161,13 @@ pub fn run_topbuckets(
         stats.candidates += local_stats.0;
         stats.total_results += local_stats.1;
         solver_calls += local_stats.2;
+        stats.pruned_local += local_stats.0 - local.len();
         merged.extend(&local);
     }
 
     // Final merge selection (the paper's "second phase of TopBuckets").
     let mut kept = get_top_buckets(k, &merged);
+    stats.pruned_merge += merged.len() - kept.len();
     let mut selected = merged.subset(&kept);
 
     if strategy == Strategy::TwoPhase {
@@ -177,6 +180,7 @@ pub fn run_topbuckets(
             selected.set_bounds(i, b.lb, b.ub);
         }
         kept = get_top_buckets(k, &selected);
+        stats.pruned_merge += selected.len() - kept.len();
         selected = selected.subset(&kept);
     }
 
@@ -468,6 +472,32 @@ mod tests {
                 assert!(
                     cover >= k as u128,
                     "trial {trial}: pruned combo (ub {ub}) not covered by {cover} ≥ k={k} results"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_counters_account_for_every_candidate() {
+        // The work-counter invariant the bench gate relies on: every
+        // examined combination is either selected or counted pruned at
+        // exactly one of the two selection stages.
+        let (matrices, _, _) = small_dataset();
+        let q = two_way_meets();
+        for (name, strategy) in Strategy::all() {
+            for workers in [1, 2, 4] {
+                let (selected, stats) =
+                    run_topbuckets(&q, &matrices, 2, strategy, &SolverConfig::default(), workers);
+                assert_eq!(
+                    stats.candidates - stats.pruned_local - stats.pruned_merge,
+                    selected.len(),
+                    "{name}/w{workers}: {stats:?}"
+                );
+                assert_eq!(stats.selected, selected.len(), "{name}/w{workers}");
+                assert_eq!(
+                    stats.worker_groups,
+                    workers.min(2),
+                    "{name}/w{workers}: 2 buckets on v0"
                 );
             }
         }

@@ -79,6 +79,13 @@ impl SweepIndex {
         &self.items
     }
 
+    /// Average concurrency of the indexed set
+    /// ([`crate::endpoint_density`]) — the statistic per-bucket backend
+    /// auto-selection keys on.
+    pub fn density(&self) -> f64 {
+        crate::endpoint_density(&self.items)
+    }
+
     /// Visits every interval whose endpoint point lies in the window and
     /// returns the number of stored items examined (the swept run
     /// length) — the backend's scan-effort telemetry.
@@ -189,6 +196,108 @@ mod tests {
         let scanned = s.window_query(&w, |_| hits += 1);
         assert_eq!(hits, 2);
         assert_eq!(scanned, 2, "start run is the tighter lane");
+    }
+
+    #[test]
+    fn empty_index_scans_zero_for_any_window() {
+        let s = SweepIndex::build(vec![]);
+        for w in [
+            Window::all(),
+            Window { start: (5.0, 5.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+            Window { start: (10.0, 0.0), end: (0.0, 10.0) }, // reversed
+        ] {
+            let mut visits = 0u32;
+            let scanned = s.window_query(&w, |_| visits += 1);
+            assert_eq!((visits, scanned), (0, 0), "{w:?}");
+        }
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn zero_width_window_hits_exact_endpoint_only() {
+        // Items with starts 0, 10, 10, 10, 20; a zero-width start window
+        // at exactly 10 must visit precisely the three 10-starters and
+        // examine exactly that run (it is the tighter lane).
+        let s = SweepIndex::build(vec![
+            iv(0, 0, 100),
+            iv(1, 10, 40),
+            iv(2, 10, 50),
+            iv(3, 10, 60),
+            iv(4, 20, 70),
+        ]);
+        let w = Window { start: (10.0, 10.0), end: (f64::NEG_INFINITY, f64::INFINITY) };
+        let mut got = Vec::new();
+        let scanned = s.window_query(&w, |i| got.push(i.id));
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(scanned, 3, "examines exactly the zero-width run");
+        // Zero-width on the end axis, between runs: nothing visited,
+        // nothing examined.
+        let w = Window { start: (f64::NEG_INFINITY, f64::INFINITY), end: (45.0, 45.0) };
+        let mut visits = 0u32;
+        let scanned = s.window_query(&w, |_| visits += 1);
+        assert_eq!((visits, scanned), (0, 0));
+    }
+
+    #[test]
+    fn window_touching_exactly_one_endpoint_run() {
+        // Three start runs at 0, 50, 100 (4 items each, distinct ends).
+        // A window covering only the middle run — via either boundary
+        // touch — visits all 4 members and examines exactly 4 items.
+        let mut items = Vec::new();
+        for (run, s0) in [(0u64, 0i64), (1, 50), (2, 100)] {
+            for j in 0..4u64 {
+                items.push(iv(run * 4 + j, s0, s0 + 200 + (run * 4 + j) as i64));
+            }
+        }
+        let s = SweepIndex::build(items);
+        for w in [
+            Window { start: (50.0, 50.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+            Window { start: (1.0, 99.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+            Window { start: (50.0, 99.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+            Window { start: (1.0, 50.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+        ] {
+            let mut got = Vec::new();
+            let scanned = s.window_query(&w, |i| got.push(i.id));
+            got.sort_unstable();
+            assert_eq!(got, vec![4, 5, 6, 7], "{w:?}");
+            assert_eq!(scanned, 4, "{w:?}: examined exactly the touched run");
+        }
+    }
+
+    #[test]
+    fn reversed_and_degenerate_windows_scan_nothing() {
+        let s = SweepIndex::build(sample(60));
+        for w in [
+            // Reversed start axis.
+            Window { start: (20.0, 10.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+            // Reversed end axis.
+            Window { start: (f64::NEG_INFINITY, f64::INFINITY), end: (90.0, 2.0) },
+            // Both reversed.
+            Window { start: (5.0, 1.0), end: (9.0, 3.0) },
+            // Disjoint from the data on the start axis.
+            Window { start: (10_000.0, 20_000.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+            // Inverted infinite bounds.
+            Window { start: (f64::INFINITY, f64::NEG_INFINITY), end: (0.0, 100.0) },
+        ] {
+            let mut visits = 0u32;
+            let scanned = s.window_query(&w, |_| visits += 1);
+            assert_eq!(visits, 0, "{w:?}");
+            assert_eq!(scanned, 0, "{w:?}: degenerate windows must not sweep");
+        }
+    }
+
+    #[test]
+    fn density_accessor_matches_canonical_formula() {
+        let items = vec![iv(0, 0, 9), iv(1, 5, 14), iv(2, 10, 19)];
+        let s = SweepIndex::build(items.clone());
+        // 3 × 10 covered timestamps over span [0, 19] → density 1.5.
+        assert!((s.density() - 1.5).abs() < 1e-12);
+        assert_eq!(s.density().to_bits(), crate::endpoint_density(&items).to_bits());
+        assert_eq!(
+            s.density().to_bits(),
+            crate::rtree::RTree::bulk_load(items).density().to_bits(),
+            "both backends expose the identical density statistic"
+        );
     }
 
     #[test]

@@ -47,8 +47,9 @@ pub use tkij_temporal as temporal;
 /// The common imports for building and running RTJ queries.
 pub mod prelude {
     pub use tkij_core::{
-        collect_statistics, naive_boolean, naive_topk, DistributionPolicy, ExecutionReport,
-        LocalJoinBackend, PreparedDataset, Strategy, Tkij, TkijConfig,
+        collect_statistics, naive_boolean, naive_topk, select_backend, BucketProfile,
+        DistributionPolicy, ExecutionReport, LocalJoinBackend, PreparedDataset, Strategy, Tkij,
+        TkijConfig,
     };
     pub use tkij_datagen::{traffic_collection, uniform_collections, TrafficConfig};
     pub use tkij_mapreduce::ClusterConfig;

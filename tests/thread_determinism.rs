@@ -1,0 +1,98 @@
+//! Thread-count determinism of the full pipeline's **work counters**:
+//! every deterministic field of the `ExecutionReport` (results, local
+//! join telemetry, TopBuckets and distribution phase counters, shuffle
+//! accounting — everything except wall timings) must be bit-identical
+//! for `worker_threads` ∈ {0, 1, 2, 4} on a seeded synthetic workload.
+//!
+//! This is what makes later parallelism work (SIMD sweep lanes, parallel
+//! sweeps inside a reducer) safe to land: any scheduling-dependent
+//! counter or result drift fails here before it can hide behind timing
+//! noise.
+
+use tkij::prelude::*;
+
+/// Every deterministic (non-timing) quantity of one execution, in a
+/// directly comparable shape.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    results: Vec<(Vec<u64>, u64)>,
+    local_stats: Vec<tkij::core::LocalJoinStats>,
+    reducer_kth_bits: Vec<u64>,
+    topbuckets: (usize, usize, usize, usize, usize, usize, u128, u128),
+    distribution: (u64, u64, u64, u64, u64),
+    join_shuffle: u64,
+    merge_shuffle: u64,
+    buckets: (u64, u64),
+}
+
+fn fingerprint(report: &ExecutionReport) -> Fingerprint {
+    Fingerprint {
+        results: report.results.iter().map(|t| (t.ids.clone(), t.score.to_bits())).collect(),
+        local_stats: report.local_stats.clone(),
+        reducer_kth_bits: report.reducer_kth_scores.iter().map(|s| s.to_bits()).collect(),
+        topbuckets: (
+            report.topbuckets.candidates,
+            report.topbuckets.selected,
+            report.topbuckets.solver_calls,
+            report.topbuckets.pruned_local,
+            report.topbuckets.pruned_merge,
+            report.topbuckets.worker_groups,
+            report.topbuckets.total_results,
+            report.topbuckets.selected_results,
+        ),
+        distribution: (
+            report.distribution.assignments_scored,
+            report.distribution.cap_fallbacks,
+            report.distribution.estimated_shuffle_records,
+            report.distribution.replication_factor.to_bits(),
+            report.distribution.result_imbalance.to_bits(),
+        ),
+        join_shuffle: report.join.total_shuffle_records(),
+        merge_shuffle: report.merge.total_shuffle_records(),
+        buckets: (report.buckets_rtree(), report.buckets_sweep()),
+    }
+}
+
+fn run_with_threads(backend: LocalJoinBackend, threads: usize) -> Fingerprint {
+    let engine = Tkij::with_cluster(
+        TkijConfig::default().with_granules(6).with_reducers(4).with_local_backend(backend),
+        ClusterConfig { worker_threads: threads, ..Default::default() },
+    );
+    let dataset = engine.prepare(uniform_collections(3, 100, 555)).unwrap();
+    let q = table1::q_om(PredicateParams::P1);
+    fingerprint(&engine.execute(&dataset, &q, 10).unwrap())
+}
+
+#[test]
+fn work_counters_identical_across_worker_thread_counts() {
+    for (name, backend) in LocalJoinBackend::all() {
+        let reference = run_with_threads(backend, 0);
+        assert!(!reference.results.is_empty(), "{name}: workload produces results");
+        assert!(reference.local_stats.iter().any(|s| s.index_probes > 0), "{name}");
+        for threads in [1usize, 2, 4] {
+            let fp = run_with_threads(backend, threads);
+            assert_eq!(
+                fp, reference,
+                "{name}: work counters diverge between worker_threads=0 and ={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    // Same engine, same dataset, executed twice: every counter (and every
+    // score bit) must repeat exactly — the property bench_smoke's exact
+    // baseline keys rely on.
+    let engine = Tkij::new(
+        TkijConfig::default()
+            .with_granules(5)
+            .with_reducers(3)
+            .with_local_backend(LocalJoinBackend::Auto),
+    );
+    let dataset = engine.prepare(uniform_collections(3, 80, 777)).unwrap();
+    let q = table1::q_sm(PredicateParams::P2);
+    let a = fingerprint(&engine.execute(&dataset, &q, 7).unwrap());
+    let b = fingerprint(&engine.execute(&dataset, &q, 7).unwrap());
+    assert_eq!(a, b);
+}
