@@ -13,7 +13,11 @@
 //! Usage: `bench_smoke [backend...]` — backend names (`rtree`, `sweep`,
 //! `auto`) parsed with the `FromStr` registry; no arguments runs all
 //! three (the gated configuration). The probe-level microbench and the
-//! speedup ratios are emitted only when both fixed backends run.
+//! backend speedup ratios are emitted only when both fixed backends run.
+//! A single-reducer hot-bucket workload (`granules = 1`, one combination)
+//! always runs, sequentially and with intra-join chunk workers: it
+//! asserts the sharding contract (bit-identical scores and counters) and
+//! emits `intra_join_speedup` plus the `hot_*` counters.
 //!
 //! Refresh the baseline with:
 //! `cargo run --release -p tkij_bench --bin bench_smoke > BENCH_BASELINE.json`
@@ -22,6 +26,7 @@ use std::time::{Duration, Instant};
 use tkij_core::{ExecutionReport, LocalJoinBackend, Tkij, TkijConfig};
 use tkij_datagen::synthetic::{uniform_collection, SyntheticConfig};
 use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex};
+use tkij_mapreduce::ClusterConfig;
 use tkij_temporal::collection::CollectionId;
 use tkij_temporal::expr::Side;
 use tkij_temporal::params::PredicateParams;
@@ -40,6 +45,15 @@ const GRANULES: u32 = 20;
 const REDUCERS: usize = 4;
 const K: usize = 100;
 
+/// Intervals per collection of the single-reducer hot-bucket workload.
+const HOT_SIZE: usize = 4_000;
+/// Startpoint span of the hot workload: sparse enough that the top-100
+/// does not saturate at perfect scores (which would let mid-run early
+/// termination skip the very waves the probe is meant to exercise).
+const HOT_SPAN: i64 = 120_000;
+/// Chunk workers of the hot workload's parallel run.
+const HOT_INTRA_THREADS: usize = 4;
+
 /// One backend's measurement: the best-of reduce time plus the full
 /// (repetition-invariant) report every emitted counter derives from.
 struct BackendRun {
@@ -55,6 +69,29 @@ impl BackendRun {
     fn score_bits(&self) -> Vec<u64> {
         self.report.results.iter().map(|t| t.score.to_bits()).collect()
     }
+}
+
+/// The shared measurement harness: one warm-up + [`RUNS`] timed
+/// repetitions of the prepared query; keeps the best (least-noise)
+/// reduce-wave time. Counters are identical across repetitions. Both the
+/// per-backend runs and the hot-bucket runs go through this, so their
+/// speedup ratios stay mutually comparable by construction.
+fn measure(engine: &Tkij, dataset: &tkij_core::PreparedDataset) -> BackendRun {
+    let query = table1::q_om(PredicateParams::P1);
+    let mut best_reduce = Duration::MAX;
+    let mut out = None;
+    for rep in 0..=RUNS {
+        let report = engine.execute(dataset, &query, K).expect("execute");
+        let reduce: Duration = report.join.reduce_durations.iter().sum();
+        if rep == 0 {
+            continue;
+        }
+        if reduce < best_reduce {
+            best_reduce = reduce;
+        }
+        out = Some(report);
+    }
+    BackendRun { reduce_ms: best_reduce.as_secs_f64() * 1e3, report: out.expect("timed run") }
 }
 
 fn run_backend(backend: LocalJoinBackend) -> BackendRun {
@@ -73,25 +110,32 @@ fn run_backend(backend: LocalJoinBackend) -> BackendRun {
             .with_local_backend(backend),
     );
     let dataset = engine.prepare(collections).expect("prepare");
-    let query = table1::q_om(PredicateParams::P1);
+    measure(&engine, &dataset)
+}
 
-    let mut best_reduce = Duration::MAX;
-    let mut out = None;
-    // One warm-up + RUNS timed repetitions; keep the best (least-noise)
-    // reduce-wave time. Counters are identical across repetitions.
-    for rep in 0..=RUNS {
-        let report = engine.execute(&dataset, &query, K).expect("execute");
-        let reduce: Duration = report.join.reduce_durations.iter().sum();
-        if rep == 0 {
-            continue;
-        }
-        if reduce < best_reduce {
-            best_reduce = reduce;
-        }
-        out = Some(report);
-    }
-    let report = out.expect("at least one timed run");
-    BackendRun { reduce_ms: best_reduce.as_secs_f64() * 1e3, report }
+/// Single-reducer hot-bucket workload: `granules = 1` collapses every
+/// collection into one bucket, so TopBuckets yields exactly one
+/// combination and the entire join is one reducer grinding through one
+/// candidate run — the worst case for reducer-level parallelism and
+/// precisely the regime the intra-join probe sharding targets. Run once
+/// sequentially and once with [`HOT_INTRA_THREADS`] chunk workers; the
+/// work counters and score bits are asserted identical (the sharding
+/// contract), so only the timing ratio distinguishes the two.
+fn run_hot(intra_threads: usize) -> BackendRun {
+    let cfg = SyntheticConfig {
+        size: HOT_SIZE,
+        start_range: (0, HOT_SPAN),
+        length_range: (1, 100),
+        seed: SEED,
+    };
+    let collections: Vec<_> =
+        (0..3u32).map(|i| uniform_collection(CollectionId(i), &cfg)).collect();
+    let engine = Tkij::with_cluster(
+        TkijConfig::default().with_granules(1).with_reducers(1),
+        ClusterConfig::default().with_intra_join_threads(intra_threads),
+    );
+    let dataset = engine.prepare(collections).expect("prepare hot");
+    measure(&engine, &dataset)
 }
 
 /// Probe-level microbench: the same score-threshold window set against
@@ -186,6 +230,7 @@ fn main() {
         push(&format!("{n}_tuples_scored"), run.report.tuples_scored().to_string());
         push(&format!("{n}_buckets_rtree"), run.report.buckets_rtree().to_string());
         push(&format!("{n}_buckets_sweep"), run.report.buckets_sweep().to_string());
+        push(&format!("{n}_probe_chunks"), run.report.probe_chunks().to_string());
     }
     // Phase-level work counters (backend-independent: TopBuckets and
     // distribution run before the join; take them from the first run and
@@ -212,9 +257,42 @@ fn main() {
     push("dtb_replication_factor", format!("{:.6}", phase.distribution.replication_factor));
     push("dtb_result_imbalance", format!("{:.6}", phase.distribution.result_imbalance));
 
+    // Single-reducer hot-bucket probe: the gate's evidence that the
+    // intra-join sharding (a) actually parallelizes the one regime
+    // reducer-level parallelism cannot touch and (b) does so without
+    // changing a single score bit or work counter.
+    let hot_seq = run_hot(0);
+    let hot_par = run_hot(HOT_INTRA_THREADS);
+    assert_eq!(
+        hot_par.score_bits(),
+        hot_seq.score_bits(),
+        "intra-join threads changed hot-workload results"
+    );
+    for (label, seq, par) in [
+        ("index_probes", hot_seq.report.index_probes(), hot_par.report.index_probes()),
+        ("items_scanned", hot_seq.report.items_scanned(), hot_par.report.items_scanned()),
+        ("tuples_scored", hot_seq.report.tuples_scored(), hot_par.report.tuples_scored()),
+        ("probe_chunks", hot_seq.report.probe_chunks(), hot_par.report.probe_chunks()),
+    ] {
+        assert_eq!(seq, par, "intra-join threads changed the hot {label} counter");
+    }
+    assert!(
+        hot_par.report.intra_threads_used() >= 2,
+        "the hot workload must actually run parallel waves"
+    );
+    let intra_speedup = hot_seq.reduce_ms / hot_par.reduce_ms.max(1e-9);
+    push("intra_join_speedup", format!("{intra_speedup:.3}"));
+    push("hot_seq_reduce_ms", format!("{:.3}", hot_seq.reduce_ms));
+    push("hot_par_reduce_ms", format!("{:.3}", hot_par.reduce_ms));
+    push("hot_probe_chunks", hot_par.report.probe_chunks().to_string());
+    push("hot_intra_threads_used", hot_par.report.intra_threads_used().to_string());
+    push("hot_index_probes", hot_par.report.index_probes().to_string());
+    push("hot_items_scanned", hot_par.report.items_scanned().to_string());
+    push("hot_tuples_scored", hot_par.report.tuples_scored().to_string());
+
     let names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
     println!("{{");
-    println!("  \"schema\": 2,");
+    println!("  \"schema\": 3,");
     println!(
         "  \"workload\": {{ \"collections\": 3, \"size\": {SIZE}, \"start_span\": {START_SPAN}, \
          \"granules\": {GRANULES}, \"reducers\": {REDUCERS}, \"k\": {K}, \"seed\": {SEED}, \

@@ -201,6 +201,18 @@ pub struct TkijConfig {
     /// Parallel TopBuckets groups (the paper splits B₁ into 6 worker
     /// groups); 1 disables partitioning.
     pub topbuckets_workers: usize,
+    /// Fixed probe-chunk length of the intra-reducer sharded local join
+    /// (`tkij_core::localjoin::PROBE_CHUNK_ITEMS` by default). An
+    /// algorithmic knob: it fixes the deterministic chunk plan, while the
+    /// thread count executing that plan comes from
+    /// `ClusterConfig::intra_join_threads` via the nested thread budget.
+    pub probe_chunk_items: usize,
+    /// Ablation switch of the sharded join's shared score bound: when
+    /// `false`, wave chunks start unbounded (the maximally stale bound).
+    /// Results stay exact; work can only grow — the bound may only
+    /// *prune*, which the equivalence suite asserts by comparing
+    /// `items_scanned` across this switch.
+    pub intra_shared_bound: bool,
     /// Ablation switch: when `false`, `getTopBuckets` pruning is disabled
     /// and every bucket combination is processed (bounds are still
     /// computed and drive the UB-descending access order and runtime
@@ -222,6 +234,8 @@ impl Default for TkijConfig {
             // sampling makes most pair problems converge at the root.
             solver: SolverConfig { eps: 0.01, max_nodes: 500 },
             topbuckets_workers: 6,
+            probe_chunk_items: crate::localjoin::PROBE_CHUNK_ITEMS,
+            intra_shared_bound: true,
             pruning: true,
         }
     }
@@ -258,6 +272,19 @@ impl TkijConfig {
         self
     }
 
+    /// Convenience: override the sharded join's probe-chunk length.
+    pub fn with_probe_chunk_items(mut self, items: usize) -> Self {
+        self.probe_chunk_items = items;
+        self
+    }
+
+    /// Convenience: disable the sharded join's shared score bound
+    /// (ablation — wave chunks run maximally stale).
+    pub fn without_intra_bound(mut self) -> Self {
+        self.intra_shared_bound = false;
+        self
+    }
+
     /// Convenience: disable `getTopBuckets` pruning (ablation).
     pub fn without_pruning(mut self) -> Self {
         self.pruning = false;
@@ -277,6 +304,8 @@ mod tests {
         assert_eq!(c.strategy, Strategy::Loose);
         assert_eq!(c.distribution, DistributionPolicy::Dtb);
         assert_eq!(c.topbuckets_workers, 6);
+        assert_eq!(c.probe_chunk_items, crate::localjoin::PROBE_CHUNK_ITEMS);
+        assert!(c.intra_shared_bound, "the shared bound is on by default");
         // The one deliberate departure from the paper's setup: the local
         // join defaults to the faster sweep backend (results are
         // identical; `with_local_backend(LocalJoinBackend::RTree)`
@@ -335,11 +364,15 @@ mod tests {
             .with_granules(15)
             .with_strategy(Strategy::TwoPhase)
             .with_distribution(DistributionPolicy::Lpt)
-            .with_reducers(8);
+            .with_reducers(8)
+            .with_probe_chunk_items(64)
+            .without_intra_bound();
         assert_eq!(c.granules, 15);
         assert_eq!(c.strategy.name(), "two-phase");
         assert_eq!(c.distribution.name(), "LPT");
         assert_eq!(c.reducers, 8);
+        assert_eq!(c.probe_chunk_items, 64);
+        assert!(!c.intra_shared_bound);
     }
 
     #[test]

@@ -51,6 +51,20 @@ impl Tkij {
         Tkij { config, cluster }
     }
 
+    /// The probe-stream sharding plan this engine hands the join phase:
+    /// chunk length and bound switch from [`TkijConfig`]. `threads` is
+    /// deliberately left 0 — the join phase always derives the effective
+    /// chunk-worker count from the cluster's nested thread budget and the
+    /// actual reduce-task count, so a caller-side value would only be
+    /// discarded (or, worse, mistaken for what executes).
+    pub fn intra_join(&self) -> crate::localjoin::IntraJoin {
+        crate::localjoin::IntraJoin {
+            threads: 0,
+            chunk_items: self.config.probe_chunk_items,
+            shared_bound: self.config.intra_shared_bound,
+        }
+    }
+
     /// Offline phase: collects statistics for a dataset (paper §3.2).
     pub fn prepare(
         &self,
@@ -102,7 +116,9 @@ impl Tkij {
             &dataset.matrices,
         );
 
-        // (d) Distributed local joins.
+        // (d) Distributed local joins (probe streams sharded per the
+        // engine's intra-join plan; threads come from the cluster's
+        // nested budget inside the join phase).
         let (outputs, join_metrics) = crate::joinphase::run_join_phase_with(
             dataset,
             query,
@@ -112,6 +128,7 @@ impl Tkij {
             &self.cluster,
             self.config.local_backend,
             None,
+            self.intra_join(),
         );
 
         // (e) Merge.
@@ -254,6 +271,21 @@ impl ExecutionReport {
         self.local_stats.iter().map(|s| s.buckets_sweep).sum()
     }
 
+    /// Probe chunks evaluated across all reducers — the scheduling unit
+    /// of the intra-reducer sharded join (a deficit against the nominal
+    /// chunk count witnesses per-chunk early termination).
+    pub fn probe_chunks(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.probe_chunks).sum()
+    }
+
+    /// Largest chunk-worker count any reducer's wave actually ran with
+    /// (`0` = every chunk was evaluated sequentially). An execution-shape
+    /// record: deterministic per configuration, but — unlike every other
+    /// counter — it legitimately varies with the thread knobs.
+    pub fn intra_threads_used(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.intra_threads_used).max().unwrap_or(0)
+    }
+
     /// Share of the potential result space pruned by TopBuckets (Fig 10c).
     pub fn pruned_pct(&self) -> f64 {
         self.topbuckets.pruned_pct()
@@ -383,6 +415,8 @@ mod tests {
         assert_eq!(report.backend, LocalJoinBackend::Sweep, "default backend");
         assert!(report.index_probes() > 0, "probes are counted");
         assert!(report.items_scanned() > 0, "scan effort is counted");
+        assert!(report.probe_chunks() > 0, "probe chunks are counted");
+        assert_eq!(report.intra_threads_used(), 0, "sequential default spawns no chunk workers");
         // Phase-level work counters are filled and self-consistent.
         assert!(report.distribution.assignments_scored > 0, "distribution work is counted");
         assert_eq!(report.distribution.cap_fallbacks, 0);

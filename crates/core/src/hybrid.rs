@@ -142,6 +142,7 @@ pub fn execute_hybrid(
         &engine.cluster,
         cfg.local_backend,
         Some(&filter),
+        engine.intra_join(),
     );
     let (results, merge_metrics) = run_merge_phase(&outputs, k, &engine.cluster);
 

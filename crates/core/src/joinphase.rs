@@ -8,7 +8,7 @@
 use crate::combos::ComboSet;
 use crate::config::LocalJoinBackend;
 use crate::distribute::Assignment;
-use crate::localjoin::LocalJoinStats;
+use crate::localjoin::{IntraJoin, LocalJoinStats};
 use crate::stats::PreparedDataset;
 use std::collections::HashMap;
 use tkij_mapreduce::{run_map_reduce, ClusterConfig, JobMetrics, SizeOf};
@@ -56,6 +56,7 @@ pub fn run_join_phase(
         cluster,
         LocalJoinBackend::default(),
         None,
+        IntraJoin::default(),
     )
 }
 
@@ -70,6 +71,11 @@ pub fn run_join_phase(
 /// per reducer. The choices are recorded in each reducer's
 /// [`LocalJoinStats`] (`buckets_rtree` / `buckets_sweep`) and surface in
 /// the `ExecutionReport` aggregates.
+///
+/// `intra` carries the probe-stream sharding plan (chunk length, shared
+/// bound); its *thread* count is recomputed here from the cluster's
+/// nested thread budget so that concurrent reduce tasks × chunk workers
+/// can never oversubscribe the host, whatever the caller passed.
 #[allow(clippy::too_many_arguments)]
 pub fn run_join_phase_with(
     dataset: &PreparedDataset,
@@ -80,6 +86,7 @@ pub fn run_join_phase_with(
     cluster: &ClusterConfig,
     backend: LocalJoinBackend,
     filter: Option<&dyn crate::localjoin::TupleFilter>,
+    intra: IntraJoin,
 ) -> (Vec<ReducerOutput>, JobMetrics) {
     // Map input: the intervals of every collection some vertex reads.
     let mut used = vec![false; dataset.collections.len()];
@@ -99,6 +106,12 @@ pub fn run_join_phase_with(
         vertices_of[cid.0 as usize].push(v as u16);
     }
     let plan = query.plan();
+    // Nested thread budget: the reduce wave's actual concurrency caps
+    // how many chunk workers each reduce task may spawn (hard-asserted
+    // inside `intra_join_plan`). Thread count never changes results or
+    // counters — only the execution of the fixed chunk schedule.
+    let intra =
+        IntraJoin { threads: cluster.intra_join_plan(assignment.num_reducers.max(1)), ..intra };
     // Auto: plan the per-bucket backend once from the collected
     // statistics; every shipped (vertex, bucket) is a bucket_map key.
     let choices: Option<crate::localjoin::BackendChoices> = (backend == LocalJoinBackend::Auto)
@@ -154,6 +167,7 @@ pub fn run_join_phase_with(
                 &data,
                 filter,
                 choices.as_ref(),
+                intra,
             );
             vec![ReducerOutput { reducer: p as u32, results: topk.into_sorted_vec(), stats }]
         },
@@ -257,6 +271,7 @@ mod tests {
             &cluster,
             crate::config::LocalJoinBackend::Auto,
             None,
+            IntraJoin::default(),
         );
         let mut all = tkij_temporal::result::TopK::new(k);
         let (mut sweep_chosen, mut total_chosen) = (0u64, 0u64);

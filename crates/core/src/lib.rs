@@ -45,8 +45,8 @@ pub use engine::{DistributionSummary, ExecutionReport, Tkij};
 pub use joinphase::{run_join_phase, run_join_phase_with, ReducerOutput};
 pub use localjoin::{
     local_topk_join, local_topk_join_on, local_topk_join_planned, select_backend, AutoIndex,
-    BackendChoices, LocalJoinStats, AUTO_DENSITY_THRESHOLD, AUTO_RTREE_BAND_MIN_DENSITY,
-    AUTO_RTREE_MIN_CARDINALITY,
+    BackendChoices, IntraJoin, LocalJoinStats, AUTO_DENSITY_THRESHOLD, AUTO_RTREE_BAND_MIN_DENSITY,
+    AUTO_RTREE_MIN_CARDINALITY, INTRA_WAVE_CHUNKS, PROBE_CHUNK_ITEMS,
 };
 pub use merge::run_merge_phase;
 pub use naive::{all_pair_scores, naive_boolean, naive_topk};

@@ -53,6 +53,17 @@ impl BucketProfile {
         p
     }
 
+    /// Number of fixed-size probe chunks this bucket's candidate run
+    /// splits into under the sharded local join:
+    /// `⌈cardinality / chunk_items⌉` (`chunk_items` clamped to ≥ 1).
+    /// The sharded join's `probe_chunks` counter equals the sum of this
+    /// over the runs it actually evaluated — a deficit against the
+    /// nominal total witnesses per-chunk early termination, which the
+    /// test battery asserts.
+    pub fn probe_chunks(&self, chunk_items: usize) -> u64 {
+        self.cardinality.div_ceil(chunk_items.max(1) as u64)
+    }
+
     /// Average number of concurrent intervals over the bucket's occupied
     /// span (equals [`tkij_index::endpoint_density`] of the same items);
     /// `0.0` when empty.

@@ -61,6 +61,16 @@ pub trait CandidateSource: Sync {
     fn is_empty(&self) -> bool {
         self.items().is_empty()
     }
+
+    /// Deterministic fixed-size chunk views over the backend's item
+    /// order — the probe-stream sharding unit of the intra-reducer
+    /// parallel join. Chunk boundaries depend only on the backend's
+    /// deterministic item order and `chunk_items` (clamped to ≥ 1), never
+    /// on thread count, so chunked evaluation is reproducible; the
+    /// chunks concatenate back to exactly [`CandidateSource::items`].
+    fn item_chunks(&self, chunk_items: usize) -> std::slice::Chunks<'_, Interval> {
+        self.items().chunks(chunk_items.max(1))
+    }
 }
 
 /// The density of an interval set: average number of concurrent

@@ -301,6 +301,56 @@ mod tests {
     }
 
     #[test]
+    fn item_chunks_partition_the_probe_stream() {
+        use crate::CandidateSource;
+        let s = SweepIndex::build(sample(100));
+        // Every chunk size — including 1, a non-divisor, the exact run
+        // length, longer than the run, and the degenerate 0 (clamped to
+        // 1) — partitions items() exactly, in order.
+        for chunk_items in [0usize, 1, 3, 64, 100, 1_000] {
+            let chunks: Vec<&[Interval]> = s.item_chunks(chunk_items).collect();
+            let rebuilt: Vec<Interval> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(rebuilt, s.items(), "chunk_items = {chunk_items}");
+            let expect = 100usize.div_ceil(chunk_items.max(1));
+            assert_eq!(chunks.len(), expect, "chunk_items = {chunk_items}");
+            // Fixed-size contract: every chunk but the last is full.
+            for c in &chunks[..chunks.len() - 1] {
+                assert_eq!(c.len(), chunk_items.max(1));
+            }
+        }
+        assert_eq!(SweepIndex::build(vec![]).item_chunks(8).count(), 0);
+    }
+
+    #[test]
+    fn chunked_probing_equals_whole_run_probing() {
+        use crate::CandidateSource;
+        // Probing with every item of every chunk as an anchor visits the
+        // same multiset, chunk by chunk, as iterating the whole run —
+        // the equivalence the sharded local join rests on.
+        let s = SweepIndex::build(sample(120));
+        let w = Window { start: (40.0, 160.0), end: (f64::NEG_INFINITY, f64::INFINITY) };
+        let mut whole = Vec::new();
+        let whole_scanned = s.window_query(&w, |i| whole.push(i.id));
+        for chunk_items in [1usize, 7, 50, 120, 500] {
+            let mut ids = Vec::new();
+            let mut anchors = 0usize;
+            for chunk in s.item_chunks(chunk_items) {
+                anchors += chunk.len();
+                // Each chunk issues its own identical probe; results and
+                // scan counts are per-probe properties, not per-chunk.
+                let mut got = Vec::new();
+                let scanned = s.window_query(&w, |i| got.push(i.id));
+                assert_eq!(scanned, whole_scanned);
+                assert_eq!(got, whole);
+                ids.extend(chunk.iter().map(|i| i.id));
+            }
+            assert_eq!(anchors, s.len(), "chunks cover every probe anchor exactly once");
+            let items_ids: Vec<u64> = s.items().iter().map(|i| i.id).collect();
+            assert_eq!(ids, items_ids, "chunk order is the item order");
+        }
+    }
+
+    #[test]
     fn half_open_infinite_windows() {
         let s = SweepIndex::build(vec![iv(0, 0, 5), iv(1, 10, 15), iv(2, 20, 25)]);
         let w = Window { start: (9.0, f64::INFINITY), end: (f64::NEG_INFINITY, f64::INFINITY) };

@@ -15,12 +15,19 @@
 //!   threads (partitions are sorted and grouped before reduction), so
 //!   distributed execution order can never change query answers.
 //!
-//! Tasks can execute on a pool of OS threads
-//! ([`ClusterConfig::worker_threads`]) or sequentially (`0`), which is the
-//! default used by the benchmark harnesses: on a single-core host,
-//! sequential execution gives unpolluted per-task timings, and wave
-//! makespans are *computed* by list-scheduling the measured durations onto
-//! the configured slots — see [`JobMetrics`].
+//! Two nested layers of real OS-thread parallelism are available, each
+//! defaulting to sequential (`0`): whole tasks execute on a pool of
+//! [`ClusterConfig::worker_threads`], and one join-phase reduce task may
+//! additionally shard its probe stream across
+//! [`ClusterConfig::intra_join_threads`] chunk workers (the intra-reducer
+//! parallel join of `tkij_core::localjoin`). The layers share one
+//! thread budget — [`ClusterConfig::thread_budget`] throttles the inner
+//! layer so `outer × inner` never oversubscribes the host, and
+//! [`ClusterConfig::assert_within_budget`] hard-asserts it. Sequential
+//! execution remains the benchmark default: on a single-core host it
+//! gives unpolluted per-task timings, and wave makespans are *computed*
+//! by list-scheduling the measured durations onto the configured slots —
+//! see [`JobMetrics`]. Neither knob can change outputs or work counters.
 
 pub mod cluster;
 pub mod engine;

@@ -154,7 +154,7 @@ mod tests {
             reduce_durations: vec![ms(30), ms(10)],
             ..Default::default()
         };
-        let cfg = crate::ClusterConfig { map_slots: 2, reduce_slots: 2, worker_threads: 0 };
+        let cfg = crate::ClusterConfig { map_slots: 2, reduce_slots: 2, ..Default::default() };
         assert_eq!(m.simulated_runtime(&cfg), ms(10) + ms(30));
     }
 }

@@ -48,8 +48,8 @@ pub use tkij_temporal as temporal;
 pub mod prelude {
     pub use tkij_core::{
         collect_statistics, naive_boolean, naive_topk, select_backend, BucketProfile,
-        DistributionPolicy, ExecutionReport, LocalJoinBackend, PreparedDataset, Strategy, Tkij,
-        TkijConfig,
+        DistributionPolicy, ExecutionReport, IntraJoin, LocalJoinBackend, PreparedDataset,
+        Strategy, Tkij, TkijConfig,
     };
     pub use tkij_datagen::{traffic_collection, uniform_collections, TrafficConfig};
     pub use tkij_mapreduce::ClusterConfig;

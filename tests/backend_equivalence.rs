@@ -88,6 +88,84 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharded/parallel local join at random chunk sizes — including
+    /// 1 and longer than every candidate run — stays exact against the
+    /// naive oracle, is bit-identical (ids and counters included) to its
+    /// own sequential execution, and its shared score bound may only
+    /// *prune*: `items_scanned` never exceeds the unbounded run's (and
+    /// exactly equals the sequential path's, since the thread count
+    /// cannot change the plan).
+    #[test]
+    fn sharded_path_is_exact_thread_invariant_and_bound_only_prunes(
+        seed in 0u64..10_000,
+        size in 20usize..60,
+        k in 1usize..10,
+        chunk_sel in 0usize..6,
+        backend_idx in 0usize..3,
+    ) {
+        // Chunk sizes spanning the degenerate (1), several non-divisors,
+        // and one longer than any candidate run.
+        let chunk = [1usize, 2, 7, 19, 64, 100_000][chunk_sel];
+        let backend = LocalJoinBackend::all()[backend_idx].1;
+        let collections = uniform_collections(3, size, seed);
+        let q = table1::q_om(PredicateParams::P1);
+        let exec = |threads: usize, bound: bool| {
+            let mut config = TkijConfig::default()
+                .with_granules(5)
+                .with_reducers(3)
+                .with_local_backend(backend)
+                .with_probe_chunk_items(chunk);
+            if !bound {
+                config = config.without_intra_bound();
+            }
+            let engine = Tkij::with_cluster(
+                config,
+                ClusterConfig::default().with_intra_join_threads(threads),
+            );
+            let dataset = engine.prepare(collections.clone()).unwrap();
+            engine.execute(&dataset, &q, k).unwrap()
+        };
+        let seq = exec(0, true);
+        let par = exec(2, true);
+        let unbounded = exec(2, false);
+
+        // Exact vs the oracle.
+        let refs: Vec<&IntervalCollection> =
+            q.vertices.iter().map(|c| &collections[c.0 as usize]).collect();
+        let expected = naive_topk(&q, &refs, k);
+        prop_assert_eq!(par.results.len(), expected.len(), "chunk={}", chunk);
+        for (got, want) in par.results.iter().zip(&expected) {
+            prop_assert!(
+                (got.score - want.score).abs() < 1e-9,
+                "chunk={}: {} vs oracle {}", chunk, got.score, want.score
+            );
+        }
+        // Thread-invariance: same plan, bit-identical execution record.
+        prop_assert_eq!(seq.results.len(), par.results.len());
+        for (a, b) in seq.results.iter().zip(&par.results) {
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            prop_assert_eq!(&a.ids, &b.ids, "chunk={}: tie-breaks diverge", chunk);
+        }
+        prop_assert_eq!(seq.items_scanned(), par.items_scanned());
+        prop_assert_eq!(seq.index_probes(), par.index_probes());
+        prop_assert_eq!(seq.probe_chunks(), par.probe_chunks());
+        prop_assert_eq!(seq.tuples_scored(), par.tuples_scored());
+        // The shared bound may only prune: identical scores, never more
+        // scans than the unbounded (maximally stale) run.
+        for (a, b) in par.results.iter().zip(&unbounded.results) {
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        prop_assert!(
+            par.items_scanned() <= unbounded.items_scanned(),
+            "chunk={}: bound added scans: {} vs {}",
+            chunk, par.items_scanned(), unbounded.items_scanned()
+        );
+    }
+}
+
 /// The auto-selection acceptance property, locked as a test on the
 /// fig15 workload family the selector was calibrated against (`Qo,m`,
 /// `k = 100`, lengths 1–100, `g = 20`, `r = 4`, seed 7): across the

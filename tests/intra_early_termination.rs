@@ -1,0 +1,100 @@
+//! Early-termination regression tests for the **sharded/parallel** local
+//! join: a workload whose sequential rank-join stops early must stop
+//! early per chunk too, and a deliberately stale shared bound must never
+//! change the returned top-k.
+//!
+//! (The third guard in this family is a hard assert: `publish_bound` in
+//! `tkij_core::localjoin` panics on a non-monotone bound publication,
+//! `#[should_panic]`-tested next to it.)
+
+use tkij::prelude::*;
+
+/// A 2-vertex `meets` workload with a dominant score cluster, evaluated
+/// through the sharded join (tiny chunks, 2 chunk workers) with static
+/// TopBuckets pruning disabled — every combination survives with honest
+/// bounds, so any work saving comes from *runtime* early termination.
+fn run_sharded_meets(k: usize, shared_bound: bool) -> ExecutionReport {
+    let mut config = TkijConfig::default()
+        .with_granules(10)
+        .with_reducers(2)
+        .with_probe_chunk_items(8)
+        .without_pruning();
+    if !shared_bound {
+        config = config.without_intra_bound();
+    }
+    let engine = Tkij::with_cluster(config, ClusterConfig::default().with_intra_join_threads(2));
+    let dataset = engine.prepare(uniform_collections(2, 120, 31)).unwrap();
+    let q = Query::new(
+        vec![CollectionId(0), CollectionId(1)],
+        vec![QueryEdge {
+            src: 0,
+            dst: 1,
+            predicate: TemporalPredicate::meets(PredicateParams::P1),
+        }],
+        Aggregation::NormalizedSum,
+    )
+    .unwrap();
+    engine.execute(&dataset, &q, k).unwrap()
+}
+
+#[test]
+fn early_termination_survives_probe_sharding() {
+    let report = run_sharded_meets(3, true);
+    assert_eq!(report.results.len(), 3);
+    let assigned: usize = report.local_stats.iter().map(|s| s.combos_assigned).sum();
+    let processed: usize = report.local_stats.iter().map(|s| s.combos_processed).sum();
+    assert!(processed > 0);
+    assert!(
+        processed < assigned,
+        "combo-level early termination must fire on the sharded path \
+         (processed {processed} of {assigned})"
+    );
+
+    // Exhaustive reference: a k no workload of this size can fill, so
+    // the admission threshold never rises and nothing is ever skipped.
+    let exhaustive = run_sharded_meets(100_000, true);
+    assert!(
+        report.index_probes() < exhaustive.index_probes(),
+        "probes must stay below the exhaustive count: {} vs {}",
+        report.index_probes(),
+        exhaustive.index_probes()
+    );
+    assert!(
+        report.probe_chunks() < exhaustive.probe_chunks(),
+        "dominated chunks must be skipped, not evaluated: {} vs {}",
+        report.probe_chunks(),
+        exhaustive.probe_chunks()
+    );
+    assert!(report.items_scanned() < exhaustive.items_scanned());
+
+    // The exhaustive run returns every tuple; the early-terminated run's
+    // scores must be its true top prefix.
+    for (got, want) in report.results.iter().zip(&exhaustive.results) {
+        assert_eq!(got.score.to_bits(), want.score.to_bits());
+    }
+}
+
+#[test]
+fn stale_bound_still_yields_the_exact_topk() {
+    // The maximally stale bound: wave chunks never observe a published
+    // value at all. Correctness must not depend on bound freshness —
+    // the score sequence is bitwise identical — and staleness can only
+    // cost work, never save it.
+    let fresh = run_sharded_meets(5, true);
+    let stale = run_sharded_meets(5, false);
+    assert_eq!(fresh.results.len(), stale.results.len());
+    for (a, b) in fresh.results.iter().zip(&stale.results) {
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "a stale bound changed the top-k: {a:?} vs {b:?}"
+        );
+    }
+    assert!(
+        fresh.items_scanned() <= stale.items_scanned(),
+        "the shared bound may only prune: fresh {} vs stale {}",
+        fresh.items_scanned(),
+        stale.items_scanned()
+    );
+    assert!(fresh.index_probes() <= stale.index_probes());
+}

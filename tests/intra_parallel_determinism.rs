@@ -1,0 +1,148 @@
+//! Thread-count determinism of the **intra-reducer sharded join**: every
+//! deterministic field of the `ExecutionReport` (results with ids, local
+//! join telemetry, phase counters, shuffle accounting — everything
+//! except wall timings and the execution-shape `intra_threads_used`
+//! record) must be bit-identical for `intra_join_threads` ∈ {0, 1, 2, 4}
+//! across all three backends and all three TopBuckets strategies, plus
+//! repeat-run bit-identity. Mirrors `tests/thread_determinism.rs`, which
+//! pins the same property for the outer `worker_threads` knob.
+//!
+//! This is the contract that makes the parallel local join safe: the
+//! chunk schedule, wave boundaries and shared-bound publication points
+//! are a pure function of the data and `probe_chunk_items` — threads
+//! only execute the fixed plan.
+
+use tkij::core::Strategy;
+use tkij::prelude::*;
+
+/// Every deterministic (non-timing, non-shape) quantity of one
+/// execution, in a directly comparable form.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    results: Vec<(Vec<u64>, u64)>,
+    local_stats: Vec<tkij::core::LocalJoinStats>,
+    reducer_kth_bits: Vec<u64>,
+    topbuckets: (usize, usize, usize, usize, usize, usize, u128, u128),
+    distribution: (u64, u64, u64, u64, u64),
+    join_shuffle: u64,
+    merge_shuffle: u64,
+    buckets: (u64, u64),
+    probe_chunks: u64,
+}
+
+fn fingerprint(report: &ExecutionReport) -> Fingerprint {
+    Fingerprint {
+        results: report.results.iter().map(|t| (t.ids.clone(), t.score.to_bits())).collect(),
+        local_stats: report
+            .local_stats
+            .iter()
+            .map(|s| {
+                // `intra_threads_used` records the execution *shape*: it
+                // is deterministic per configuration (asserted below)
+                // but, like the timings, legitimately differs across
+                // thread knobs — every other field must not.
+                let mut s = s.clone();
+                s.intra_threads_used = 0;
+                s
+            })
+            .collect(),
+        reducer_kth_bits: report.reducer_kth_scores.iter().map(|s| s.to_bits()).collect(),
+        topbuckets: (
+            report.topbuckets.candidates,
+            report.topbuckets.selected,
+            report.topbuckets.solver_calls,
+            report.topbuckets.pruned_local,
+            report.topbuckets.pruned_merge,
+            report.topbuckets.worker_groups,
+            report.topbuckets.total_results,
+            report.topbuckets.selected_results,
+        ),
+        distribution: (
+            report.distribution.assignments_scored,
+            report.distribution.cap_fallbacks,
+            report.distribution.estimated_shuffle_records,
+            report.distribution.replication_factor.to_bits(),
+            report.distribution.result_imbalance.to_bits(),
+        ),
+        join_shuffle: report.join.total_shuffle_records(),
+        merge_shuffle: report.merge.total_shuffle_records(),
+        buckets: (report.buckets_rtree(), report.buckets_sweep()),
+        probe_chunks: report.probe_chunks(),
+    }
+}
+
+/// A small chunk size so the seeded workload splits every hot candidate
+/// run into many chunks and the wave machinery actually engages.
+const CHUNK: usize = 16;
+
+fn run(
+    dataset: &PreparedDataset,
+    strategy: Strategy,
+    backend: LocalJoinBackend,
+    intra_threads: usize,
+) -> ExecutionReport {
+    let engine = Tkij::with_cluster(
+        TkijConfig::default()
+            .with_granules(4)
+            .with_reducers(3)
+            .with_strategy(strategy)
+            .with_local_backend(backend)
+            .with_probe_chunk_items(CHUNK),
+        ClusterConfig::default().with_intra_join_threads(intra_threads),
+    );
+    let q = table1::q_om(PredicateParams::P1);
+    engine.execute(dataset, &q, 30).unwrap()
+}
+
+#[test]
+fn report_identical_across_intra_thread_counts() {
+    let base = Tkij::new(TkijConfig::default().with_granules(4));
+    let dataset = base.prepare(uniform_collections(3, 150, 909)).unwrap();
+    let mut any_parallel_wave = false;
+    for (sname, strategy) in Strategy::all() {
+        for (bname, backend) in LocalJoinBackend::all() {
+            let reference = run(&dataset, strategy, backend, 0);
+            let reference_fp = fingerprint(&reference);
+            assert!(!reference_fp.results.is_empty(), "{sname}/{bname}: produces results");
+            assert!(reference_fp.probe_chunks > 0, "{sname}/{bname}: chunks are counted");
+            assert_eq!(
+                reference.intra_threads_used(),
+                0,
+                "{sname}/{bname}: sequential execution spawns no chunk workers"
+            );
+            for threads in [1usize, 2, 4] {
+                let report = run(&dataset, strategy, backend, threads);
+                assert_eq!(
+                    fingerprint(&report),
+                    reference_fp,
+                    "{sname}/{bname}: report diverges between intra threads 0 and {threads}"
+                );
+                any_parallel_wave |= report.intra_threads_used() >= 2;
+            }
+        }
+    }
+    // The battery must actually exercise the parallel path, not just the
+    // inline chunks — otherwise the identity above is vacuous.
+    assert!(any_parallel_wave, "no configuration ever ran a parallel wave");
+}
+
+#[test]
+fn repeated_parallel_runs_are_bit_identical() {
+    // Same engine, same dataset, executed twice at intra threads 4:
+    // every counter — including the execution-shape record — and every
+    // score bit must repeat exactly.
+    let engine = Tkij::with_cluster(
+        TkijConfig::default()
+            .with_granules(3)
+            .with_reducers(2)
+            .with_local_backend(LocalJoinBackend::Auto)
+            .with_probe_chunk_items(CHUNK),
+        ClusterConfig::default().with_intra_join_threads(4),
+    );
+    let dataset = engine.prepare(uniform_collections(3, 120, 777)).unwrap();
+    let q = table1::q_sm(PredicateParams::P2);
+    let a = engine.execute(&dataset, &q, 25).unwrap();
+    let b = engine.execute(&dataset, &q, 25).unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.intra_threads_used(), b.intra_threads_used(), "shape repeats too");
+}

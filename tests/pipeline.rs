@@ -59,7 +59,12 @@ fn deterministic_across_cluster_shapes() {
     for (threads, map_slots) in [(0usize, 2usize), (4, 6), (2, 1)] {
         let engine = Tkij::with_cluster(
             TkijConfig::default().with_granules(7).with_reducers(5),
-            ClusterConfig { map_slots, reduce_slots: 24, worker_threads: threads },
+            ClusterConfig {
+                map_slots,
+                reduce_slots: 24,
+                worker_threads: threads,
+                ..Default::default()
+            },
         );
         let dataset = engine.prepare(uniform_collections(3, 70, 1234)).unwrap();
         let report = engine.execute(&dataset, &q, 6).unwrap();
