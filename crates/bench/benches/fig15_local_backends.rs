@@ -20,9 +20,10 @@ use std::time::{Duration, Instant};
 use tkij_bench::{header, print_table, Scale};
 use tkij_core::{LocalJoinBackend, Tkij, TkijConfig};
 use tkij_datagen::synthetic::{uniform_collection, SyntheticConfig};
-use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex};
+use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex, SweepScanKind};
 use tkij_temporal::collection::CollectionId;
 use tkij_temporal::expr::Side;
+use tkij_temporal::interval::Interval;
 use tkij_temporal::params::PredicateParams;
 use tkij_temporal::predicate::TemporalPredicate;
 use tkij_temporal::query::table1;
@@ -63,11 +64,16 @@ fn join_time(backend: LocalJoinBackend, size: usize, span: i64, seed: u64) -> Jo
     run
 }
 
-fn probe_time<C: CandidateSource>(size: usize, span: i64, seed: u64) -> (Duration, u64) {
+fn probe_time<C: CandidateSource>(
+    size: usize,
+    span: i64,
+    seed: u64,
+    build: impl FnOnce(Vec<Interval>) -> C,
+) -> (Duration, u64) {
     let cfg = SyntheticConfig { size, start_range: (0, span), length_range: (1, 100), seed };
     let items = uniform_collection(CollectionId(0), &cfg).intervals().to_vec();
     let anchors: Vec<_> = items.iter().step_by(10).copied().collect();
-    let index = C::build(items);
+    let index = build(items);
     let pred = TemporalPredicate::meets(PredicateParams::P1);
     let mut best = Duration::MAX;
     let mut scanned = 0u64;
@@ -125,13 +131,21 @@ fn main() {
             format!("{:.3}", ratio),
             format!("{}/{}", auto.buckets_sweep, auto.buckets_rtree),
         ]);
-        let (rtp, rtp_scanned) = probe_time::<RTree>(size, span, 7);
-        let (swp, swp_scanned) = probe_time::<SweepIndex>(size, span, 7);
+        let (rtp, rtp_scanned) = probe_time(size, span, 7, RTree::bulk_load);
+        let (swp, swp_scanned) =
+            probe_time(size, span, 7, |i| SweepIndex::build_with_scan(i, SweepScanKind::Chunked));
+        let (scp, scp_scanned) =
+            probe_time(size, span, 7, |i| SweepIndex::build_with_scan(i, SweepScanKind::Scalar));
+        // The scan-kind axis: identical work by contract, so the scan
+        // counts must agree and only the times may differ.
+        assert_eq!(scp_scanned, swp_scanned, "scan kinds diverge on examined items");
         probe_rows.push(vec![
             format!("{span}"),
             ms(rtp),
             ms(swp),
+            ms(scp),
             format!("{:.2}x", rtp.as_secs_f64() / swp.as_secs_f64().max(1e-12)),
+            format!("{:.2}x", scp.as_secs_f64() / swp.as_secs_f64().max(1e-12)),
             format!("{rtp_scanned}"),
             format!("{swp_scanned}"),
         ]);
@@ -153,15 +167,25 @@ fn main() {
         ],
         &join_rows,
     );
-    println!("\n(15b) Probe-level s-meets threshold retrieval (v = 0.8):");
+    println!("\n(15b) Probe-level s-meets threshold retrieval (v = 0.8), scan-kind axis:");
     print_table(
-        &["span", "rtree", "sweep", "speedup", "rtree scanned", "sweep scanned"],
+        &[
+            "span",
+            "rtree",
+            "sweep(chunked)",
+            "sweep(scalar)",
+            "rt/sw spd",
+            "chunk spd",
+            "rtree scanned",
+            "sweep scanned",
+        ],
         &probe_rows,
     );
     let last = &probe_rows[probe_rows.len() - 1];
     println!(
-        "\nshape check: dense-regime probe speedup {} with sweep examining {} items vs rtree {}",
-        last[3], last[5], last[4]
+        "\nshape check: dense-regime probe speedup {} with sweep examining {} items vs rtree {}; \
+         chunked-lane speedup over the scalar scan {}",
+        last[4], last[7], last[6], last[5]
     );
     println!(
         "auto-selection check: worst auto/best scan ratio {worst_auto_ratio:.3} \

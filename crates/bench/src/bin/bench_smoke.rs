@@ -13,7 +13,11 @@
 //! Usage: `bench_smoke [backend...]` — backend names (`rtree`, `sweep`,
 //! `auto`) parsed with the `FromStr` registry; no arguments runs all
 //! three (the gated configuration). The probe-level microbench and the
-//! backend speedup ratios are emitted only when both fixed backends run.
+//! backend speedup ratios are emitted only when both fixed backends run;
+//! the microbench also times the sweep store under both scan kinds and
+//! emits `chunked_probe_speedup` (chunked lanes vs the scalar
+//! reference — a pure wall-clock ratio: the kinds' hit and scan counts
+//! are asserted identical in-binary).
 //! A single-reducer hot-bucket workload (`granules = 1`, one combination)
 //! always runs, sequentially and with intra-join chunk workers: it
 //! asserts the sharding contract (bit-identical scores and counters) and
@@ -25,10 +29,11 @@
 use std::time::{Duration, Instant};
 use tkij_core::{ExecutionReport, LocalJoinBackend, Tkij, TkijConfig};
 use tkij_datagen::synthetic::{uniform_collection, SyntheticConfig};
-use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex};
+use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex, SweepScanKind};
 use tkij_mapreduce::ClusterConfig;
 use tkij_temporal::collection::CollectionId;
 use tkij_temporal::expr::Side;
+use tkij_temporal::interval::Interval;
 use tkij_temporal::params::PredicateParams;
 use tkij_temporal::predicate::TemporalPredicate;
 use tkij_temporal::query::table1;
@@ -148,7 +153,7 @@ struct ProbeRun {
     hits: u64,
 }
 
-fn probe_microbench<C: CandidateSource>() -> ProbeRun {
+fn probe_microbench<C: CandidateSource>(build: impl FnOnce(Vec<Interval>) -> C) -> ProbeRun {
     let cfg = SyntheticConfig {
         size: 20_000,
         start_range: (0, START_SPAN),
@@ -157,7 +162,7 @@ fn probe_microbench<C: CandidateSource>() -> ProbeRun {
     };
     let items = uniform_collection(CollectionId(0), &cfg).intervals().to_vec();
     let anchors: Vec<_> = items.iter().step_by(10).copied().collect();
-    let index = C::build(items);
+    let index = build(items);
     let pred = TemporalPredicate::meets(PredicateParams::P1);
     let mut best = Duration::MAX;
     let (mut scanned, mut hits) = (0u64, 0u64);
@@ -206,13 +211,25 @@ fn main() {
     let mut push = |key: &str, value: String| metrics.push((key.to_string(), value));
 
     if both_fixed {
-        let rtree_probe = probe_microbench::<RTree>();
-        let sweep_probe = probe_microbench::<SweepIndex>();
+        let rtree_probe = probe_microbench(RTree::bulk_load);
+        let sweep_probe =
+            probe_microbench(|items| SweepIndex::build_with_scan(items, SweepScanKind::Chunked));
+        let scalar_probe =
+            probe_microbench(|items| SweepIndex::build_with_scan(items, SweepScanKind::Scalar));
         let speedup = rtree_probe.probe_ms / sweep_probe.probe_ms.max(1e-9);
         assert_eq!(rtree_probe.hits, sweep_probe.hits, "backends must agree on candidate sets");
+        // The scan kinds must be indistinguishable in everything but
+        // time: same hits, same examined-items telemetry.
+        assert_eq!(scalar_probe.hits, sweep_probe.hits, "scan kinds must agree on hits");
+        assert_eq!(scalar_probe.scanned, sweep_probe.scanned, "scan kinds must agree on scans");
+        // Per-kind probe speedup of the chunked lane scan over the
+        // scalar reference (same index contents, same window set).
+        let chunked_speedup = scalar_probe.probe_ms / sweep_probe.probe_ms.max(1e-9);
         push("rtree_probe_ms", format!("{:.3}", rtree_probe.probe_ms));
         push("sweep_probe_ms", format!("{:.3}", sweep_probe.probe_ms));
+        push("sweep_scalar_probe_ms", format!("{:.3}", scalar_probe.probe_ms));
         push("sweep_speedup", format!("{speedup:.3}"));
+        push("chunked_probe_speedup", format!("{chunked_speedup:.3}"));
         push("rtree_probe_scanned", rtree_probe.scanned.to_string());
         push("sweep_probe_scanned", sweep_probe.scanned.to_string());
         push("probe_hits", sweep_probe.hits.to_string());

@@ -3,7 +3,7 @@
 //! from.
 
 use crate::combos::TopBucketsStats;
-use crate::config::{DistributionPolicy, LocalJoinBackend, Strategy, TkijConfig};
+use crate::config::{DistributionPolicy, LocalJoinBackend, Strategy, SweepScanKind, TkijConfig};
 use crate::distribute::distribute;
 use crate::localjoin::LocalJoinStats;
 use crate::merge::run_merge_phase;
@@ -127,6 +127,7 @@ impl Tkij {
             k,
             &self.cluster,
             self.config.local_backend,
+            self.config.sweep_scan,
             None,
             self.intra_join(),
         );
@@ -150,6 +151,7 @@ impl Tkij {
             strategy: self.config.strategy,
             policy: self.config.distribution,
             backend: self.config.local_backend,
+            sweep_scan: self.config.sweep_scan,
             topbuckets,
             distribution: DistributionSummary {
                 policy: self.config.distribution,
@@ -205,6 +207,11 @@ pub struct ExecutionReport {
     pub policy: DistributionPolicy,
     /// Local-join candidate-source backend used.
     pub backend: LocalJoinBackend,
+    /// Sweep run-scan kind used (configuration echo, like `backend`;
+    /// never part of determinism fingerprints — the kinds are
+    /// counter-identical by contract, so nothing else in this report
+    /// may depend on it).
+    pub sweep_scan: SweepScanKind,
     /// TopBuckets telemetry (Fig. 9 black box, Fig. 10c pruning curve).
     pub topbuckets: TopBucketsStats,
     /// Distribution telemetry (shuffle cost comparisons of §4.2.2).
@@ -413,6 +420,11 @@ mod tests {
         assert!(!report.phase_line().is_empty());
         assert!(report.pruned_pct() >= 0.0 && report.pruned_pct() <= 100.0);
         assert_eq!(report.backend, LocalJoinBackend::Sweep, "default backend");
+        assert_eq!(
+            report.sweep_scan,
+            SweepScanKind::from_env().unwrap_or(SweepScanKind::Chunked),
+            "scan-kind echo follows the config default"
+        );
         assert!(report.index_probes() > 0, "probes are counted");
         assert!(report.items_scanned() > 0, "scan effort is counted");
         assert!(report.probe_chunks() > 0, "probe chunks are counted");
@@ -455,6 +467,36 @@ mod tests {
             report.buckets_rtree() + report.buckets_sweep() > 0,
             "auto records a choice per indexed bucket"
         );
+    }
+
+    #[test]
+    fn scan_kind_is_echoed_and_counter_invariant() {
+        // The engine-level version of the lanes contract: flipping
+        // `sweep_scan` changes the report's configuration echo and
+        // nothing else — results (ids included) and every work counter
+        // are bit-identical.
+        let base = uniform_collections(3, 50, 321);
+        let q = table1::q_om(PredicateParams::P1);
+        let mut reports = Vec::new();
+        for (_, scan) in SweepScanKind::all() {
+            let tk = Tkij::new(
+                TkijConfig::default().with_granules(5).with_reducers(3).with_sweep_scan(scan),
+            );
+            let dataset = tk.prepare(base.clone()).unwrap();
+            let report = tk.execute(&dataset, &q, 8).unwrap();
+            assert_eq!(report.sweep_scan, scan, "report echoes the configured kind");
+            reports.push(report);
+        }
+        let (a, b) = (&reports[0], &reports[1]);
+        assert_eq!(a.items_scanned(), b.items_scanned());
+        assert_eq!(a.index_probes(), b.index_probes());
+        assert_eq!(a.tuples_scored(), b.tuples_scored());
+        assert_eq!(a.probe_chunks(), b.probe_chunks());
+        assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.ids, y.ids, "scan kinds may not exchange tie tuples");
+        }
     }
 
     #[test]

@@ -141,6 +141,7 @@ pub fn execute_hybrid(
         k,
         &engine.cluster,
         cfg.local_backend,
+        cfg.sweep_scan,
         Some(&filter),
         engine.intra_join(),
     );
@@ -161,6 +162,7 @@ pub fn execute_hybrid(
         strategy: cfg.strategy,
         policy: cfg.distribution,
         backend: cfg.local_backend,
+        sweep_scan: cfg.sweep_scan,
         topbuckets,
         distribution: DistributionSummary {
             policy: cfg.distribution,

@@ -6,7 +6,7 @@
 //! falls. Then x is communicated to all reducers r_j that received b."
 
 use crate::combos::ComboSet;
-use crate::config::LocalJoinBackend;
+use crate::config::{LocalJoinBackend, SweepScanKind};
 use crate::distribute::Assignment;
 use crate::localjoin::{IntraJoin, LocalJoinStats};
 use crate::stats::PreparedDataset;
@@ -55,6 +55,7 @@ pub fn run_join_phase(
         k,
         cluster,
         LocalJoinBackend::default(),
+        SweepScanKind::default(),
         None,
         IntraJoin::default(),
     )
@@ -76,6 +77,10 @@ pub fn run_join_phase(
 /// bound); its *thread* count is recomputed here from the cluster's
 /// nested thread budget so that concurrent reduce tasks × chunk workers
 /// can never oversubscribe the host, whatever the caller passed.
+///
+/// `scan` is the sweep store's run-scan kind (`TkijConfig::sweep_scan`),
+/// threaded to every reducer like `backend`; the kinds are bit-identical
+/// in results and counters, so it is a pure wall-clock knob.
 #[allow(clippy::too_many_arguments)]
 pub fn run_join_phase_with(
     dataset: &PreparedDataset,
@@ -85,6 +90,7 @@ pub fn run_join_phase_with(
     k: usize,
     cluster: &ClusterConfig,
     backend: LocalJoinBackend,
+    scan: SweepScanKind,
     filter: Option<&dyn crate::localjoin::TupleFilter>,
     intra: IntraJoin,
 ) -> (Vec<ReducerOutput>, JobMetrics) {
@@ -159,6 +165,7 @@ pub fn run_join_phase_with(
             }
             let (topk, stats) = crate::localjoin::local_topk_join_planned(
                 backend,
+                scan,
                 query,
                 &plan,
                 k,
@@ -270,6 +277,7 @@ mod tests {
             k,
             &cluster,
             crate::config::LocalJoinBackend::Auto,
+            SweepScanKind::default(),
             None,
             IntraJoin::default(),
         );

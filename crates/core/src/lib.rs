@@ -39,7 +39,9 @@ pub mod stats;
 pub mod topbuckets;
 
 pub use combos::{ComboSet, TopBucketsStats, VertexBuckets};
-pub use config::{DistributionPolicy, LocalJoinBackend, ParseVariantError, Strategy, TkijConfig};
+pub use config::{
+    DistributionPolicy, LocalJoinBackend, ParseVariantError, Strategy, SweepScanKind, TkijConfig,
+};
 pub use distribute::{distribute, Assignment};
 pub use engine::{DistributionSummary, ExecutionReport, Tkij};
 pub use joinphase::{run_join_phase, run_join_phase_with, ReducerOutput};

@@ -49,7 +49,7 @@
 //! sequential `0`; only wall time changes.
 
 use crate::combos::ComboSet;
-use crate::config::LocalJoinBackend;
+use crate::config::{LocalJoinBackend, SweepScanKind};
 use crate::stats::BucketProfile;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -238,21 +238,28 @@ impl AutoIndex {
     /// Builds the index for an already-made fixed-backend choice
     /// (planned from the collected statistics). [`LocalJoinBackend::Auto`]
     /// as `choice` is treated as "decide here" from the slice profile.
-    pub fn build_chosen(choice: LocalJoinBackend, items: Vec<Interval>) -> Self {
+    /// `scan` only reaches the sweep arm: the kind a bucket's store
+    /// sweeps its runs with (never a selection input — both kinds do
+    /// identical work by contract).
+    pub fn build_chosen(
+        choice: LocalJoinBackend,
+        items: Vec<Interval>,
+        scan: SweepScanKind,
+    ) -> Self {
         let choice = match choice {
             LocalJoinBackend::Auto => select_backend(&BucketProfile::from_intervals(&items)),
             fixed => fixed,
         };
         match choice {
             LocalJoinBackend::RTree => AutoIndex::RTree(RTree::bulk_load(items)),
-            _ => AutoIndex::Sweep(SweepIndex::build(items)),
+            _ => AutoIndex::Sweep(SweepIndex::build_with_scan(items, scan)),
         }
     }
 }
 
 impl CandidateSource for AutoIndex {
     fn build(items: Vec<Interval>) -> Self {
-        Self::build_chosen(LocalJoinBackend::Auto, items)
+        Self::build_chosen(LocalJoinBackend::Auto, items, SweepScanKind::default())
     }
 
     fn items(&self) -> &[Interval] {
@@ -367,6 +374,7 @@ pub fn local_topk_join_on(
 ) -> (TopK, LocalJoinStats) {
     local_topk_join_planned(
         backend,
+        SweepScanKind::default(),
         query,
         plan,
         k,
@@ -384,10 +392,14 @@ pub fn local_topk_join_on(
 /// [`LocalJoinBackend::Auto`]) and an explicit probe-stream sharding
 /// plan. This is the join-phase entry point: the engine plans choices
 /// once from `PreparedDataset::bucket_profile` and ships the plan — and
-/// the [`IntraJoin`] sharding parameters — to every reducer.
+/// the [`IntraJoin`] sharding parameters — to every reducer. `scan`
+/// selects the sweep store's run-scan kind (`TkijConfig::sweep_scan`);
+/// it reaches every sweep-indexed bucket, fixed or auto-chosen, and by
+/// the lanes contract cannot change results or counters.
 #[allow(clippy::too_many_arguments)]
 pub fn local_topk_join_planned(
     backend: LocalJoinBackend,
+    scan: SweepScanKind,
     query: &Query,
     plan: &JoinPlan,
     k: usize,
@@ -406,7 +418,7 @@ pub fn local_topk_join_planned(
         }
         LocalJoinBackend::Sweep => {
             join_generic(query, plan, k, combos, combo_indices, data, filter, intra, |_, items| {
-                SweepIndex::build(items)
+                SweepIndex::build_with_scan(items, scan)
             })
         }
         LocalJoinBackend::Auto => join_generic(
@@ -421,7 +433,7 @@ pub fn local_topk_join_planned(
             |key, items| {
                 let choice =
                     choices.and_then(|c| c.get(key).copied()).unwrap_or(LocalJoinBackend::Auto);
-                AutoIndex::build_chosen(choice, items)
+                AutoIndex::build_chosen(choice, items, scan)
             },
         ),
     }
@@ -1273,7 +1285,17 @@ mod tests {
         let (combos, indices, data) = full_setup(query, collections, g);
         let plan = query.plan();
         let (topk, stats) = local_topk_join_planned(
-            backend, query, &plan, k, &combos, &indices, &data, None, None, intra,
+            backend,
+            SweepScanKind::default(),
+            query,
+            &plan,
+            k,
+            &combos,
+            &indices,
+            &data,
+            None,
+            None,
+            intra,
         );
         (topk.into_sorted_vec(), stats)
     }

@@ -8,8 +8,10 @@
 //!
 //! * [`RTree`] — a static STR bulk-loaded R-tree over endpoint points,
 //! * [`SweepIndex`] — the sweeping-based, endpoint-sorted store (Piatov
-//!   et al.): gapless lanes, binary-searched runs, sequential sweeps —
-//!   the cache-friendly default of the local-join hot path,
+//!   et al.): gapless structure-of-arrays lanes, binary-searched runs,
+//!   sequential sweeps — the cache-friendly default of the local-join
+//!   hot path, scanning runs with the chunked-mask or scalar kind of
+//!   [`lanes`] ([`SweepScanKind`], bit-identical by contract),
 //! * [`GridIndex`] — a uniform-grid alternative (ablation / oracle),
 //! * [`CandidateSource`] — the access-path abstraction the local join is
 //!   generic over, so backends are swappable without touching join logic,
@@ -20,10 +22,12 @@
 //!   exactly by the caller.
 
 pub mod grid;
+pub mod lanes;
 pub mod rtree;
 pub mod sweep;
 
 pub use grid::GridIndex;
+pub use lanes::{EndpointLanes, SweepScanKind, LANE_WIDTH, SCAN_KIND_ENV};
 pub use rtree::{RTree, Rect, Window, FANOUT};
 pub use sweep::SweepIndex;
 

@@ -23,7 +23,15 @@
 //! reads 8 bytes per examined item in strictly ascending addresses — the
 //! access pattern hardware prefetchers are built for. Matching items are
 //! resolved back to full [`Interval`]s on hit only.
+//!
+//! Since the vectorized-lanes rework, both endpoint orders live in
+//! [`EndpointLanes`] — structure-of-arrays `f64` key/filter lanes (the
+//! `as f64` cast [`Window::contains`] compares, hoisted to build time) —
+//! and the in-window test of a swept run is delegated to the chunked or
+//! scalar scan selected by [`SweepScanKind`] (see [`crate::lanes`] for
+//! the mask protocol and the bit-identity contract between the kinds).
 
+use crate::lanes::{EndpointLanes, SweepScanKind};
 use crate::rtree::Window;
 use tkij_temporal::interval::Interval;
 
@@ -34,34 +42,50 @@ pub struct SweepIndex {
     /// Intervals sorted by `(start, end, id)` — the primary order, also
     /// exposed through [`SweepIndex::items`].
     items: Vec<Interval>,
-    /// Gapless start lane: `starts[i] == items[i].start`.
-    starts: Vec<i64>,
-    /// Gapless end lane aligned with `items`: `ends[i] == items[i].end`.
-    ends: Vec<i64>,
+    /// Start-order lanes: keys = starts (sorted), filters = ends.
+    by_start: EndpointLanes,
     /// Item indexes sorted by `(end, start, id)` — the end-axis sweep
     /// order.
     by_end: Vec<u32>,
-    /// Gapless end lane in `by_end` order (binary-search target).
-    ends_sorted: Vec<i64>,
-    /// Gapless start lane in `by_end` order (sweep filter).
-    starts_by_end: Vec<i64>,
+    /// End-order lanes: keys = ends in `by_end` order (sorted), filters
+    /// = starts in `by_end` order.
+    end_lanes: EndpointLanes,
+    /// How swept runs are tested against the window.
+    scan: SweepScanKind,
 }
 
 impl SweepIndex {
-    /// Builds the index. Input order does not matter; probes visit items
-    /// in deterministic endpoint order.
-    pub fn build(mut items: Vec<Interval>) -> Self {
+    /// Builds the index with the default ([`SweepScanKind::Chunked`])
+    /// scan kind. Input order does not matter; probes visit items in
+    /// deterministic endpoint order.
+    pub fn build(items: Vec<Interval>) -> Self {
+        Self::build_with_scan(items, SweepScanKind::default())
+    }
+
+    /// Builds the index with an explicit scan kind. The kind cannot
+    /// change what a probe visits, in which order, or how many items it
+    /// examines — only how fast (see [`crate::lanes`]).
+    pub fn build_with_scan(mut items: Vec<Interval>, scan: SweepScanKind) -> Self {
         items.sort_unstable_by_key(|iv| (iv.start, iv.end, iv.id));
-        let starts: Vec<i64> = items.iter().map(|iv| iv.start).collect();
-        let ends: Vec<i64> = items.iter().map(|iv| iv.end).collect();
+        let by_start = EndpointLanes::new(
+            items.iter().map(|iv| iv.start as f64).collect(),
+            items.iter().map(|iv| iv.end as f64).collect(),
+        );
         let mut by_end: Vec<u32> = (0..items.len() as u32).collect();
         by_end.sort_unstable_by_key(|&i| {
             let iv = &items[i as usize];
             (iv.end, iv.start, iv.id)
         });
-        let ends_sorted: Vec<i64> = by_end.iter().map(|&i| ends[i as usize]).collect();
-        let starts_by_end: Vec<i64> = by_end.iter().map(|&i| starts[i as usize]).collect();
-        SweepIndex { items, starts, ends, by_end, ends_sorted, starts_by_end }
+        let end_lanes = EndpointLanes::new(
+            by_end.iter().map(|&i| items[i as usize].end as f64).collect(),
+            by_end.iter().map(|&i| items[i as usize].start as f64).collect(),
+        );
+        SweepIndex { items, by_start, by_end, end_lanes, scan }
+    }
+
+    /// The scan kind probes run with.
+    pub fn scan_kind(&self) -> SweepScanKind {
+        self.scan
     }
 
     /// Number of indexed intervals.
@@ -95,33 +119,25 @@ impl SweepIndex {
         }
         let (s_lo, s_hi) = window.start;
         let (e_lo, e_hi) = window.end;
-        // `i64 → f64` is monotone (non-decreasing), so partition_point on
-        // the cast lane mirrors `Window::contains` exactly.
-        let i0 = self.starts.partition_point(|&s| (s as f64) < s_lo);
-        let i1 = self.starts.partition_point(|&s| (s as f64) <= s_hi);
-        let j0 = self.ends_sorted.partition_point(|&e| (e as f64) < e_lo);
-        let j1 = self.ends_sorted.partition_point(|&e| (e as f64) <= e_hi);
-        if i0 >= i1 || j0 >= j1 {
+        // `i64 → f64` is monotone (non-decreasing), so binary-searching
+        // the cast key lanes mirrors `Window::contains` exactly.
+        let start_run = self.by_start.run(s_lo, s_hi);
+        let end_run = self.end_lanes.run(e_lo, e_hi);
+        if start_run.is_empty() || end_run.is_empty() {
             return 0;
         }
-        if i1 - i0 <= j1 - j0 {
+        if start_run.len() <= end_run.len() {
             // Start axis is the tighter constraint: sweep the start run.
-            for i in i0..i1 {
-                let e = self.ends[i] as f64;
-                if e >= e_lo && e <= e_hi {
-                    visit(&self.items[i]);
-                }
-            }
-            (i1 - i0) as u64
+            let scanned = start_run.len() as u64;
+            self.by_start.sweep(self.scan, start_run, e_lo, e_hi, |i| visit(&self.items[i]));
+            scanned
         } else {
             // End axis is tighter: sweep the end-sorted run.
-            for j in j0..j1 {
-                let s = self.starts_by_end[j] as f64;
-                if s >= s_lo && s <= s_hi {
-                    visit(&self.items[self.by_end[j] as usize]);
-                }
-            }
-            (j1 - j0) as u64
+            let scanned = end_run.len() as u64;
+            self.end_lanes.sweep(self.scan, end_run, s_lo, s_hi, |j| {
+                visit(&self.items[self.by_end[j] as usize])
+            });
+            scanned
         }
     }
 
@@ -284,6 +300,80 @@ mod tests {
             assert_eq!(visits, 0, "{w:?}");
             assert_eq!(scanned, 0, "{w:?}: degenerate windows must not sweep");
         }
+    }
+
+    #[test]
+    fn empty_build_is_total_under_both_scan_kinds() {
+        // `build` on an empty Vec must leave every accessor and probe
+        // path well-defined — density, collection, and the chunked scan
+        // (whose chunk loop and tail both see zero slots).
+        for (name, kind) in SweepScanKind::all() {
+            let s = SweepIndex::build_with_scan(vec![], kind);
+            assert!(s.is_empty(), "{name}");
+            assert_eq!(s.len(), 0, "{name}");
+            assert_eq!(s.scan_kind(), kind);
+            assert_eq!(s.density(), 0.0, "{name}: empty density is 0");
+            assert_eq!(s.window_collect(&Window::all()), vec![], "{name}");
+            let mut visits = 0u32;
+            let scanned = s.window_query(&Window::all(), |_| visits += 1);
+            assert_eq!((visits, scanned), (0, 0), "{name}");
+            assert!(s.items().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_identical_endpoints_form_one_run() {
+        // Every item at (5, 5): one endpoint run holds the whole index,
+        // density equals the cardinality (n items covering a 1-wide
+        // span), and both scan kinds visit everything in id order while
+        // examining exactly the run.
+        let n = 2 * crate::lanes::LANE_WIDTH + 3; // chunked path + tail
+        let items: Vec<Interval> = (0..n as u64).map(|id| iv(id, 5, 5)).collect();
+        for (name, kind) in SweepScanKind::all() {
+            let s = SweepIndex::build_with_scan(items.clone(), kind);
+            assert_eq!(s.density(), n as f64, "{name}: n concurrent over a 1-wide span");
+            let hit = Window { start: (5.0, 5.0), end: (5.0, 5.0) };
+            let got = s.window_collect(&hit);
+            assert_eq!(got, items, "{name}: all visited, in (start, end, id) order");
+            let mut visits = 0u32;
+            let scanned = s.window_query(&hit, |_| visits += 1);
+            assert_eq!((visits as usize, scanned as usize), (n, n), "{name}");
+            // Zero-width windows just off the point: nothing visited,
+            // nothing examined (the runs are empty).
+            for w in [
+                Window { start: (4.0, 4.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+                Window { start: (6.0, 6.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+                Window { start: (5.0, 5.0), end: (6.0, 6.0) },
+            ] {
+                let mut visits = 0u32;
+                let scanned = s.window_query(&w, |_| visits += 1);
+                assert_eq!((visits, scanned), (0, 0), "{name} {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_kinds_agree_on_visits_order_and_scanned() {
+        // Unit-level spot check of the bit-identity contract (the full
+        // battery lives in tests/sweep_scan_equivalence.rs): same visit
+        // sequence and scan count on a workload exercising both axes.
+        let items = sample(150);
+        let scalar = SweepIndex::build_with_scan(items.clone(), SweepScanKind::Scalar);
+        let chunked = SweepIndex::build_with_scan(items, SweepScanKind::Chunked);
+        for w in [
+            Window::all(),
+            Window { start: (40.0, 160.0), end: (f64::NEG_INFINITY, f64::INFINITY) },
+            Window { start: (f64::NEG_INFINITY, f64::INFINITY), end: (100.0, 140.0) },
+            Window { start: (30.0, 470.0), end: (55.0, 90.0) },
+        ] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let sa = scalar.window_query(&w, |i| a.push(i.id));
+            let sb = chunked.window_query(&w, |i| b.push(i.id));
+            assert_eq!(a, b, "{w:?}: visit sequences diverge");
+            assert_eq!(sa, sb, "{w:?}: scan counts diverge");
+        }
+        assert_eq!(SweepIndex::build(sample(3)).scan_kind(), SweepScanKind::Chunked, "default");
     }
 
     #[test]

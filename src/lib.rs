@@ -49,7 +49,7 @@ pub mod prelude {
     pub use tkij_core::{
         collect_statistics, naive_boolean, naive_topk, select_backend, BucketProfile,
         DistributionPolicy, ExecutionReport, IntraJoin, LocalJoinBackend, PreparedDataset,
-        Strategy, Tkij, TkijConfig,
+        Strategy, SweepScanKind, Tkij, TkijConfig,
     };
     pub use tkij_datagen::{traffic_collection, uniform_collections, TrafficConfig};
     pub use tkij_mapreduce::ClusterConfig;

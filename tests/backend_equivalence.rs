@@ -18,6 +18,7 @@ use tkij::core::Strategy;
 fn run(
     backend: LocalJoinBackend,
     strategy: Strategy,
+    scan: SweepScanKind,
     collections: &[IntervalCollection],
     q: &Query,
     k: usize,
@@ -28,7 +29,8 @@ fn run(
             .with_granules(g)
             .with_reducers(3)
             .with_strategy(strategy)
-            .with_local_backend(backend),
+            .with_local_backend(backend)
+            .with_sweep_scan(scan),
     );
     let dataset = engine.prepare(collections.to_vec()).unwrap();
     let report = engine.execute(&dataset, q, k).unwrap();
@@ -52,7 +54,9 @@ proptest! {
 
     /// All three backends — both fixed ones and `Auto`'s per-bucket
     /// mixture — equal the oracle and each other (bitwise) for random
-    /// workloads, across every TopBuckets strategy.
+    /// workloads, across every TopBuckets strategy and both sweep scan
+    /// kinds: a randomly drawn kind drives the sweep-indexed runs, and
+    /// the *other* kind must reproduce the sweep run bit for bit.
     #[test]
     fn backends_identical_across_strategies(
         seed in 0u64..10_000,
@@ -60,6 +64,7 @@ proptest! {
         k in 1usize..12,
         g in 2u32..9,
         q_idx in 0usize..4,
+        scan_idx in 0usize..2,
     ) {
         let collections = uniform_collections(3, size, seed);
         let q = match q_idx {
@@ -68,20 +73,29 @@ proptest! {
             2 => table1::q_oo(PredicateParams::P1),
             _ => table1::q_bb(PredicateParams::P3),
         };
+        let scan = SweepScanKind::all()[scan_idx].1;
+        let other = SweepScanKind::all()[1 - scan_idx].1;
         for (_, strategy) in Strategy::all() {
-            let rt = run(LocalJoinBackend::RTree, strategy, &collections, &q, k, g);
-            let sw = run(LocalJoinBackend::Sweep, strategy, &collections, &q, k, g);
-            let auto = run(LocalJoinBackend::Auto, strategy, &collections, &q, k, g);
+            let rt = run(LocalJoinBackend::RTree, strategy, scan, &collections, &q, k, g);
+            let sw = run(LocalJoinBackend::Sweep, strategy, scan, &collections, &q, k, g);
+            let auto = run(LocalJoinBackend::Auto, strategy, scan, &collections, &q, k, g);
+            let sw_other = run(LocalJoinBackend::Sweep, strategy, other, &collections, &q, k, g);
             prop_assert_eq!(rt.len(), sw.len());
             prop_assert_eq!(rt.len(), auto.len());
-            for ((a, b), c) in rt.iter().zip(&sw).zip(&auto) {
+            prop_assert_eq!(sw.len(), sw_other.len());
+            for (((a, b), c), d) in rt.iter().zip(&sw).zip(&auto).zip(&sw_other) {
                 prop_assert_eq!(
                     a.to_bits(), b.to_bits(),
-                    "{:?}: backend scores diverge: {} vs {}", strategy, a, b
+                    "{:?}/{:?}: backend scores diverge: {} vs {}", strategy, scan, a, b
                 );
                 prop_assert_eq!(
                     a.to_bits(), c.to_bits(),
-                    "{:?}: auto diverges from the fixed backends: {} vs {}", strategy, a, c
+                    "{:?}/{:?}: auto diverges from the fixed backends: {} vs {}",
+                    strategy, scan, a, c
+                );
+                prop_assert_eq!(
+                    b.to_bits(), d.to_bits(),
+                    "{:?}: sweep diverges between scan kinds: {} vs {}", strategy, b, d
                 );
             }
         }
@@ -94,12 +108,13 @@ proptest! {
     /// The sharded/parallel local join at random chunk sizes — including
     /// 1 and longer than every candidate run — stays exact against the
     /// naive oracle, is bit-identical (ids and counters included) to its
-    /// own sequential execution, and its shared score bound may only
-    /// *prune*: `items_scanned` never exceeds the unbounded run's (and
-    /// exactly equals the sequential path's, since the thread count
-    /// cannot change the plan).
+    /// own sequential execution *and* to the scalar-scan execution (the
+    /// chunked lane scan may not move a counter), and its shared score
+    /// bound may only *prune*: `items_scanned` never exceeds the
+    /// unbounded run's (and exactly equals the sequential path's, since
+    /// neither the thread count nor the scan kind can change the plan).
     #[test]
-    fn sharded_path_is_exact_thread_invariant_and_bound_only_prunes(
+    fn sharded_path_is_exact_thread_and_scan_invariant_and_bound_only_prunes(
         seed in 0u64..10_000,
         size in 20usize..60,
         k in 1usize..10,
@@ -112,11 +127,12 @@ proptest! {
         let backend = LocalJoinBackend::all()[backend_idx].1;
         let collections = uniform_collections(3, size, seed);
         let q = table1::q_om(PredicateParams::P1);
-        let exec = |threads: usize, bound: bool| {
+        let exec = |threads: usize, bound: bool, scan: SweepScanKind| {
             let mut config = TkijConfig::default()
                 .with_granules(5)
                 .with_reducers(3)
                 .with_local_backend(backend)
+                .with_sweep_scan(scan)
                 .with_probe_chunk_items(chunk);
             if !bound {
                 config = config.without_intra_bound();
@@ -128,9 +144,10 @@ proptest! {
             let dataset = engine.prepare(collections.clone()).unwrap();
             engine.execute(&dataset, &q, k).unwrap()
         };
-        let seq = exec(0, true);
-        let par = exec(2, true);
-        let unbounded = exec(2, false);
+        let seq = exec(0, true, SweepScanKind::Chunked);
+        let par = exec(2, true, SweepScanKind::Chunked);
+        let unbounded = exec(2, false, SweepScanKind::Chunked);
+        let scalar = exec(0, true, SweepScanKind::Scalar);
 
         // Exact vs the oracle.
         let refs: Vec<&IntervalCollection> =
@@ -153,6 +170,18 @@ proptest! {
         prop_assert_eq!(seq.index_probes(), par.index_probes());
         prop_assert_eq!(seq.probe_chunks(), par.probe_chunks());
         prop_assert_eq!(seq.tuples_scored(), par.tuples_scored());
+        // Scan-kind invariance, end to end: the scalar-scan execution is
+        // bit-identical to the chunked one — results (ids included) and
+        // every work counter.
+        prop_assert_eq!(seq.results.len(), scalar.results.len());
+        for (a, b) in seq.results.iter().zip(&scalar.results) {
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            prop_assert_eq!(&a.ids, &b.ids, "chunk={}: scan kinds exchange ties", chunk);
+        }
+        prop_assert_eq!(seq.items_scanned(), scalar.items_scanned());
+        prop_assert_eq!(seq.index_probes(), scalar.index_probes());
+        prop_assert_eq!(seq.probe_chunks(), scalar.probe_chunks());
+        prop_assert_eq!(seq.tuples_scored(), scalar.tuples_scored());
         // The shared bound may only prune: identical scores, never more
         // scans than the unbounded (maximally stale) run.
         for (a, b) in par.results.iter().zip(&unbounded.results) {

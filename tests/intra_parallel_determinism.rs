@@ -3,9 +3,12 @@
 //! join telemetry, phase counters, shuffle accounting — everything
 //! except wall timings and the execution-shape `intra_threads_used`
 //! record) must be bit-identical for `intra_join_threads` ∈ {0, 1, 2, 4}
-//! across all three backends and all three TopBuckets strategies, plus
-//! repeat-run bit-identity. Mirrors `tests/thread_determinism.rs`, which
-//! pins the same property for the outer `worker_threads` knob.
+//! across all three backends and all three TopBuckets strategies — and
+//! across the sweep scan kinds `{Scalar, Chunked}`, sharing **one**
+//! reference fingerprint per (strategy, backend), since the chunked lane
+//! scan must be a pure wall-clock knob — plus repeat-run bit-identity.
+//! Mirrors `tests/thread_determinism.rs`, which pins the same property
+//! for the outer `worker_threads` knob.
 //!
 //! This is the contract that makes the parallel local join safe: the
 //! chunk schedule, wave boundaries and shared-bound publication points
@@ -79,6 +82,7 @@ fn run(
     dataset: &PreparedDataset,
     strategy: Strategy,
     backend: LocalJoinBackend,
+    scan: SweepScanKind,
     intra_threads: usize,
 ) -> ExecutionReport {
     let engine = Tkij::with_cluster(
@@ -87,6 +91,7 @@ fn run(
             .with_reducers(3)
             .with_strategy(strategy)
             .with_local_backend(backend)
+            .with_sweep_scan(scan)
             .with_probe_chunk_items(CHUNK),
         ClusterConfig::default().with_intra_join_threads(intra_threads),
     );
@@ -95,13 +100,16 @@ fn run(
 }
 
 #[test]
-fn report_identical_across_intra_thread_counts() {
+fn report_identical_across_intra_threads_and_scan_kinds() {
     let base = Tkij::new(TkijConfig::default().with_granules(4));
     let dataset = base.prepare(uniform_collections(3, 150, 909)).unwrap();
     let mut any_parallel_wave = false;
     for (sname, strategy) in Strategy::all() {
         for (bname, backend) in LocalJoinBackend::all() {
-            let reference = run(&dataset, strategy, backend, 0);
+            // One reference per (strategy, backend): scalar scan,
+            // sequential. The whole {Scalar, Chunked} × intra-thread
+            // grid must reproduce it bit for bit.
+            let reference = run(&dataset, strategy, backend, SweepScanKind::Scalar, 0);
             let reference_fp = fingerprint(&reference);
             assert!(!reference_fp.results.is_empty(), "{sname}/{bname}: produces results");
             assert!(reference_fp.probe_chunks > 0, "{sname}/{bname}: chunks are counted");
@@ -110,14 +118,20 @@ fn report_identical_across_intra_thread_counts() {
                 0,
                 "{sname}/{bname}: sequential execution spawns no chunk workers"
             );
-            for threads in [1usize, 2, 4] {
-                let report = run(&dataset, strategy, backend, threads);
-                assert_eq!(
-                    fingerprint(&report),
-                    reference_fp,
-                    "{sname}/{bname}: report diverges between intra threads 0 and {threads}"
-                );
-                any_parallel_wave |= report.intra_threads_used() >= 2;
+            for (kname, scan) in SweepScanKind::all() {
+                for threads in [0usize, 1, 2, 4] {
+                    if scan == SweepScanKind::Scalar && threads == 0 {
+                        continue; // the reference itself
+                    }
+                    let report = run(&dataset, strategy, backend, scan, threads);
+                    assert_eq!(
+                        fingerprint(&report),
+                        reference_fp,
+                        "{sname}/{bname}/{kname}: report diverges from the scalar \
+                         sequential reference at intra threads {threads}"
+                    );
+                    any_parallel_wave |= report.intra_threads_used() >= 2;
+                }
             }
         }
     }

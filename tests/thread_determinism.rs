@@ -2,12 +2,15 @@
 //! every deterministic field of the `ExecutionReport` (results, local
 //! join telemetry, TopBuckets and distribution phase counters, shuffle
 //! accounting — everything except wall timings) must be bit-identical
-//! for `worker_threads` ∈ {0, 1, 2, 4} on a seeded synthetic workload.
+//! for `worker_threads` ∈ {0, 1, 2, 4} on a seeded synthetic workload —
+//! and, since the vectorized-lanes rework, across the sweep scan kinds
+//! `{Scalar, Chunked}` too: the scan kind is a pure wall-clock knob, so
+//! one reference fingerprint must cover the whole
+//! kind × thread-count grid.
 //!
-//! This is what makes later parallelism work (SIMD sweep lanes, parallel
-//! sweeps inside a reducer) safe to land: any scheduling-dependent
-//! counter or result drift fails here before it can hide behind timing
-//! noise.
+//! This is what makes parallelism/vectorization work safe to land: any
+//! scheduling- or lane-dependent counter or result drift fails here
+//! before it can hide behind timing noise.
 
 use tkij::prelude::*;
 
@@ -53,9 +56,13 @@ fn fingerprint(report: &ExecutionReport) -> Fingerprint {
     }
 }
 
-fn run_with_threads(backend: LocalJoinBackend, threads: usize) -> Fingerprint {
+fn run_with_threads(backend: LocalJoinBackend, scan: SweepScanKind, threads: usize) -> Fingerprint {
     let engine = Tkij::with_cluster(
-        TkijConfig::default().with_granules(6).with_reducers(4).with_local_backend(backend),
+        TkijConfig::default()
+            .with_granules(6)
+            .with_reducers(4)
+            .with_local_backend(backend)
+            .with_sweep_scan(scan),
         ClusterConfig { worker_threads: threads, ..Default::default() },
     );
     let dataset = engine.prepare(uniform_collections(3, 100, 555)).unwrap();
@@ -64,17 +71,27 @@ fn run_with_threads(backend: LocalJoinBackend, threads: usize) -> Fingerprint {
 }
 
 #[test]
-fn work_counters_identical_across_worker_thread_counts() {
+fn work_counters_identical_across_worker_threads_and_scan_kinds() {
     for (name, backend) in LocalJoinBackend::all() {
-        let reference = run_with_threads(backend, 0);
+        // One reference per backend: the scalar scan kind, sequential.
+        // Every (scan kind, thread count) cell must reproduce it bit
+        // for bit — the scan kind may not shift a single counter even
+        // on the R-tree backend (where it is simply unused).
+        let reference = run_with_threads(backend, SweepScanKind::Scalar, 0);
         assert!(!reference.results.is_empty(), "{name}: workload produces results");
         assert!(reference.local_stats.iter().any(|s| s.index_probes > 0), "{name}");
-        for threads in [1usize, 2, 4] {
-            let fp = run_with_threads(backend, threads);
-            assert_eq!(
-                fp, reference,
-                "{name}: work counters diverge between worker_threads=0 and ={threads}"
-            );
+        for (sname, scan) in SweepScanKind::all() {
+            for threads in [0usize, 1, 2, 4] {
+                if scan == SweepScanKind::Scalar && threads == 0 {
+                    continue; // the reference itself
+                }
+                let fp = run_with_threads(backend, scan, threads);
+                assert_eq!(
+                    fp, reference,
+                    "{name}/{sname}: work counters diverge from scalar worker_threads=0 \
+                     at worker_threads={threads}"
+                );
+            }
         }
     }
 }
