@@ -3,7 +3,7 @@
 //! DTB vs LPT assignment cost).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use tkij_core::{distribute, get_top_buckets, ComboSet, DistributionPolicy};
 use tkij_datagen::synthetic::{uniform_collection, SyntheticConfig};
@@ -188,14 +188,14 @@ fn bench_local_join(c: &mut Criterion) {
     let plan = q.plan();
     let matrix = BucketMatrix::build(part, &left);
     let mut combos = ComboSet::new(2);
-    let mut data: HashMap<(u16, BucketId), Vec<Interval>> = HashMap::new();
+    let mut data: BTreeMap<(u16, BucketId), Vec<Interval>> = BTreeMap::new();
     for iv in &left {
         data.entry((0, matrix.bucket_of(iv))).or_default().push(*iv);
     }
     for iv in &right {
         data.entry((1, matrix.bucket_of(iv))).or_default().push(*iv);
     }
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for iv in &left {
         let b = matrix.bucket_of(iv);
         if seen.insert(b) {

@@ -326,7 +326,7 @@ mod tests {
         assert_eq!(seen[0], vec![0, 0]);
         assert_eq!(seen[5], vec![2, 1]);
         // All distinct.
-        let uniq: std::collections::HashSet<_> = seen.iter().cloned().collect();
+        let uniq: std::collections::BTreeSet<_> = seen.iter().cloned().collect();
         assert_eq!(uniq.len(), 6);
     }
 

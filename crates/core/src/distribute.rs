@@ -19,7 +19,7 @@
 
 use crate::combos::ComboSet;
 use crate::config::DistributionPolicy;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 use tkij_temporal::bucket::{BucketId, BucketMatrix};
 use tkij_temporal::query::Query;
@@ -44,7 +44,7 @@ pub struct Assignment {
     pub reducer_results: Vec<u128>,
     /// The shipment map `M`: reducers needing each (vertex, bucket),
     /// sorted and deduplicated.
-    pub bucket_map: HashMap<VertexBucket, Vec<u32>>,
+    pub bucket_map: BTreeMap<VertexBucket, Vec<u32>>,
     /// Σ over (vertex, bucket) of `|b| × #reducers` — the records the
     /// join-phase shuffle will move.
     pub estimated_shuffle_records: u64,
@@ -90,6 +90,7 @@ pub fn distribute(
     matrices: &[BucketMatrix],
 ) -> Assignment {
     assert!(r >= 1, "need at least one reducer");
+    // tkij-lint: allow(DET002) -- feeds only Assignment::duration, a timing artifact
     let started = Instant::now();
     let order = match policy {
         // Alg. 3 line 1: descending score upper-bound.
@@ -103,7 +104,7 @@ pub fn distribute(
     let mut combo_reducer = vec![0u32; combos.len()];
     let mut reducer_combos: Vec<Vec<u32>> = vec![Vec::new(); r];
     let mut reducer_results: Vec<u128> = vec![0; r];
-    let mut assigned: HashMap<VertexBucket, Vec<u32>> = HashMap::new();
+    let mut assigned: BTreeMap<VertexBucket, Vec<u32>> = BTreeMap::new();
     let mut assignments_scored = 0u64;
     let mut cap_fallbacks = 0u64;
     let bucket_count =
@@ -189,7 +190,7 @@ fn get_reducer(
     avg_res: f64,
     reducer_combos: &[Vec<u32>],
     reducer_results: &[u128],
-    assigned: &HashMap<VertexBucket, Vec<u32>>,
+    assigned: &BTreeMap<VertexBucket, Vec<u32>>,
     bucket_count: &dyn Fn(usize, BucketId) -> u64,
 ) -> ReducerPick {
     let r = reducer_combos.len();
@@ -317,7 +318,7 @@ mod tests {
         let combos = combos_with_bounds(8, 2);
         let a = distribute(&combos, Dtb, 4, &q, &m);
         let order = combos.indices_by_ub_desc();
-        let first_four: std::collections::HashSet<u32> =
+        let first_four: std::collections::BTreeSet<u32> =
             order[..4].iter().map(|&i| a.combo_reducer[i as usize]).collect();
         assert_eq!(first_four.len(), 4, "top-UB combos must hit distinct reducers");
     }
@@ -421,7 +422,7 @@ mod tests {
             1.0, // avg 1 → cap 2; both reducers are far past it
             &[vec![0], vec![1]],
             &[100, 50],
-            &HashMap::new(),
+            &BTreeMap::new(),
             &bucket_count,
         );
         assert!(pick.fell_back);

@@ -29,7 +29,7 @@ use crate::localjoin::TupleFilter;
 use crate::merge::run_merge_phase;
 use crate::stats::PreparedDataset;
 use crate::topbuckets::run_topbuckets;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tkij_temporal::error::TemporalError;
 use tkij_temporal::interval::Interval;
 use tkij_temporal::query::Query;
@@ -56,7 +56,7 @@ pub struct AttrConstraint {
 }
 
 /// Attribute tables per *collection* (interval id → attribute value).
-pub type AttributeTables = Vec<HashMap<u64, u64>>;
+pub type AttributeTables = Vec<BTreeMap<u64, u64>>;
 
 struct AttrFilter<'a> {
     query: &'a Query,
@@ -308,7 +308,7 @@ mod tests {
             .unwrap()
         };
         // Empty tables: with a constraint, nothing qualifies.
-        let tables: AttributeTables = vec![HashMap::new(), HashMap::new()];
+        let tables: AttributeTables = vec![BTreeMap::new(), BTreeMap::new()];
         let constraints = [AttrConstraint { src: 0, dst: 1, predicate: AttrPredicate::Equal }];
         let report = execute_hybrid(&tk, &dataset, &q, &tables, &constraints, 3).unwrap();
         assert!(report.results.is_empty());

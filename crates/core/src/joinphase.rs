@@ -10,7 +10,7 @@ use crate::config::{LocalJoinBackend, SweepScanKind};
 use crate::distribute::Assignment;
 use crate::localjoin::{IntraJoin, LocalJoinStats};
 use crate::stats::PreparedDataset;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tkij_mapreduce::{run_map_reduce, ClusterConfig, JobMetrics, SizeOf};
 use tkij_temporal::bucket::BucketId;
 use tkij_temporal::interval::Interval;
@@ -152,7 +152,7 @@ pub fn run_join_phase_with(
         |r| *r as usize,
         |p, groups| {
             // Reassemble this reducer's (vertex, bucket) → intervals map.
-            let mut data: HashMap<(u16, BucketId), Vec<Interval>> = HashMap::new();
+            let mut data: BTreeMap<(u16, BucketId), Vec<Interval>> = BTreeMap::new();
             for (r, records) in groups {
                 debug_assert_eq!(r as usize, p);
                 for VRec(v, iv) in records {

@@ -51,7 +51,7 @@
 use crate::combos::ComboSet;
 use crate::config::{LocalJoinBackend, SweepScanKind};
 use crate::stats::BucketProfile;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex, Window};
 use tkij_temporal::bucket::BucketId;
@@ -221,7 +221,7 @@ pub fn select_backend(profile: &BucketProfile) -> LocalJoinBackend {
 /// it **once** from the collected statistics
 /// ([`crate::stats::PreparedDataset::bucket_profile`]) and every reducer
 /// reads it, so replicated buckets are not re-profiled per reducer.
-pub type BackendChoices = HashMap<(u16, BucketId), LocalJoinBackend>;
+pub type BackendChoices = BTreeMap<(u16, BucketId), LocalJoinBackend>;
 
 /// The [`LocalJoinBackend::Auto`] candidate source: each bucket builds
 /// whichever fixed backend [`select_backend`] picks for its profile, and
@@ -326,7 +326,7 @@ pub fn local_topk_join(
     k: usize,
     combos: &ComboSet,
     combo_indices: &[u32],
-    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    data: &BTreeMap<(u16, BucketId), Vec<Interval>>,
 ) -> (TopK, LocalJoinStats) {
     local_topk_join_with(query, plan, k, combos, combo_indices, data, None)
 }
@@ -341,7 +341,7 @@ pub fn local_topk_join_with(
     k: usize,
     combos: &ComboSet,
     combo_indices: &[u32],
-    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    data: &BTreeMap<(u16, BucketId), Vec<Interval>>,
     filter: Option<&dyn TupleFilter>,
 ) -> (TopK, LocalJoinStats) {
     local_topk_join_on(
@@ -369,7 +369,7 @@ pub fn local_topk_join_on(
     k: usize,
     combos: &ComboSet,
     combo_indices: &[u32],
-    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    data: &BTreeMap<(u16, BucketId), Vec<Interval>>,
     filter: Option<&dyn TupleFilter>,
 ) -> (TopK, LocalJoinStats) {
     local_topk_join_planned(
@@ -405,7 +405,7 @@ pub fn local_topk_join_planned(
     k: usize,
     combos: &ComboSet,
     combo_indices: &[u32],
-    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    data: &BTreeMap<(u16, BucketId), Vec<Interval>>,
     filter: Option<&dyn TupleFilter>,
     choices: Option<&BackendChoices>,
     intra: IntraJoin,
@@ -524,7 +524,7 @@ fn join_generic<C: CandidateSource + ChosenBackend>(
     k: usize,
     combos: &ComboSet,
     combo_indices: &[u32],
-    data: &HashMap<(u16, BucketId), Vec<Interval>>,
+    data: &BTreeMap<(u16, BucketId), Vec<Interval>>,
     filter: Option<&dyn TupleFilter>,
     intra: IntraJoin,
     build: impl Fn(&(u16, BucketId), Vec<Interval>) -> C,
@@ -533,7 +533,7 @@ fn join_generic<C: CandidateSource + ChosenBackend>(
     let mut topk = TopK::new(k);
 
     // Index every shipped bucket once; reused across combinations.
-    let indexes: HashMap<(u16, BucketId), C> =
+    let indexes: BTreeMap<(u16, BucketId), C> =
         data.iter().map(|(&key, intervals)| (key, build(&key, intervals.clone()))).collect();
     for index in indexes.values() {
         match index.chosen() {
@@ -583,7 +583,7 @@ fn join_generic<C: CandidateSource + ChosenBackend>(
 struct ComboRun<'a, C> {
     query: &'a Query,
     plan: &'a JoinPlan,
-    indexes: &'a HashMap<(u16, BucketId), C>,
+    indexes: &'a BTreeMap<(u16, BucketId), C>,
     filter: Option<&'a dyn TupleFilter>,
     intra: IntraJoin,
     k: usize,
@@ -680,6 +680,10 @@ impl<C: CandidateSource> ComboRun<'_, C> {
     ) -> Vec<(TopK, LocalJoinStats)> {
         let eval = |chunk: &[Interval]| -> (TopK, LocalJoinStats) {
             let (floor, floor_full) = if self.intra.shared_bound {
+                // Relaxed ordering suffices: the bound is published only
+                // between waves ([`publish_bound`]), the scope join/spawn
+                // already orders the memory, and any value read here is a
+                // valid (monotone) admission floor.
                 (f64::from_bits(self.bound.load(Ordering::Relaxed)), true)
             } else {
                 (0.0, false) // ablation: the maximally stale bound
@@ -714,6 +718,10 @@ impl<C: CandidateSource> ComboRun<'_, C> {
                     scope.spawn(|_| {
                         let mut out = Vec::new();
                         loop {
+                            // Relaxed ordering suffices: the cursor only
+                            // claims each chunk index exactly once; the
+                            // results are merged back in chunk order, so
+                            // claim order cannot reach a counter.
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= wave.len() {
                                 break;
@@ -754,7 +762,7 @@ impl Scratch {
 struct JoinCx<'a, C, H> {
     query: &'a Query,
     plan: &'a JoinPlan,
-    indexes: &'a HashMap<(u16, BucketId), C>,
+    indexes: &'a BTreeMap<(u16, BucketId), C>,
     heap: &'a mut H,
     stats: &'a mut LocalJoinStats,
     /// Partial tuple, indexed by vertex (borrowed [`Scratch`]).
@@ -920,7 +928,7 @@ mod tests {
     use tkij_temporal::params::PredicateParams;
     use tkij_temporal::query::{table1, Query};
 
-    type FullSetup = (ComboSet, Vec<u32>, HashMap<(u16, BucketId), Vec<Interval>>);
+    type FullSetup = (ComboSet, Vec<u32>, BTreeMap<(u16, BucketId), Vec<Interval>>);
 
     /// Builds matrices, a full (unpruned) ComboSet with trivial bounds,
     /// and the complete data map for a single in-process "reducer".
@@ -940,7 +948,7 @@ mod tests {
             combos.push(&buckets, crate::combos::nb_res_of(&per_vertex, idx), 0.0, 1.0);
         });
         let indices: Vec<u32> = (0..combos.len() as u32).collect();
-        let mut data: HashMap<(u16, BucketId), Vec<Interval>> = HashMap::new();
+        let mut data: BTreeMap<(u16, BucketId), Vec<Interval>> = BTreeMap::new();
         for (v, cid) in query.vertices.iter().enumerate() {
             let m = &matrices[cid.0 as usize];
             for iv in collections[cid.0 as usize].intervals() {
@@ -1098,7 +1106,7 @@ mod tests {
         selected.push(&[BucketId::new(0, 0), BucketId::new(1, 1)], 36, 1.0, 1.0);
         selected.push(&[BucketId::new(3, 3), BucketId::new(0, 0)], 36, 0.0, 0.4);
         let indices: Vec<u32> = vec![0, 1];
-        let mut data: HashMap<(u16, BucketId), Vec<Interval>> = HashMap::new();
+        let mut data: BTreeMap<(u16, BucketId), Vec<Interval>> = BTreeMap::new();
         for (v, cid) in q.vertices.iter().enumerate() {
             let m = &matrices[cid.0 as usize];
             for iv in collections[cid.0 as usize].intervals() {
@@ -1452,7 +1460,7 @@ mod tests {
         .unwrap();
         let plan = q.plan();
         let combos = ComboSet::new(2);
-        let (topk, stats) = local_topk_join(&q, &plan, 5, &combos, &[], &HashMap::new());
+        let (topk, stats) = local_topk_join(&q, &plan, 5, &combos, &[], &BTreeMap::new());
         assert!(topk.is_empty());
         assert_eq!(stats.combos_processed, 0);
         assert_eq!(stats.kth_score, 0.0);

@@ -118,6 +118,7 @@ pub fn run_topbuckets(
     solver_cfg: &SolverConfig,
     workers: usize,
 ) -> (ComboSet, TopBucketsStats) {
+    // tkij-lint: allow(DET002) -- feeds only TopBucketsStats::duration, a timing artifact
     let started = Instant::now();
     let n = query.n();
     let per_vertex = vertex_buckets(query, matrices);
@@ -389,8 +390,8 @@ mod tests {
         );
         assert_eq!(loose.len(), brute.len());
         // Index combos by buckets for comparison.
-        use std::collections::HashMap;
-        let mut brute_by_buckets = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut brute_by_buckets = BTreeMap::new();
         for i in 0..brute.len() {
             brute_by_buckets.insert(brute.buckets(i).to_vec(), (brute.lb(i), brute.ub(i)));
         }
@@ -412,9 +413,9 @@ mod tests {
             run_topbuckets(&q, &matrices, 2, Strategy::Loose, &SolverConfig::default(), 1);
         let (multi, _) =
             run_topbuckets(&q, &matrices, 2, Strategy::Loose, &SolverConfig::default(), 4);
-        let single_set: std::collections::HashSet<Vec<_>> =
+        let single_set: std::collections::BTreeSet<Vec<_>> =
             (0..single.len()).map(|i| single.buckets(i).to_vec()).collect();
-        let multi_set: std::collections::HashSet<Vec<_>> =
+        let multi_set: std::collections::BTreeSet<Vec<_>> =
             (0..multi.len()).map(|i| multi.buckets(i).to_vec()).collect();
         // Both cover at least k results.
         assert!(single.total_results() >= 2 && multi.total_results() >= 2);
@@ -458,7 +459,7 @@ mod tests {
                 set.push(&[BucketId::new(i as u32, i as u32)], nb, lb, ub);
             }
             let kept = get_top_buckets(k, &set);
-            let kept_set: std::collections::HashSet<u32> = kept.iter().copied().collect();
+            let kept_set: std::collections::BTreeSet<u32> = kept.iter().copied().collect();
             for pruned in 0..n_combos as u32 {
                 if kept_set.contains(&pruned) {
                     continue;

@@ -215,7 +215,7 @@ mod tests {
             let tree = RTree::bulk_load(items.clone());
             let anchor = iv(9999, a_s, a_s + a_w);
             let side = if anchor_left { Side::Left } else { Side::Right };
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             threshold_candidates(&tree, &pred, &anchor, side, v, |c| {
                 seen.insert(c.id);
             });

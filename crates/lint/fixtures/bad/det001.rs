@@ -1,0 +1,12 @@
+//! Bad-code fixture: DET001 — hash-ordered container in a
+//! counter-bearing context. `tkij-lint check <this file>` must exit 1.
+
+use std::collections::HashMap;
+
+pub fn bucket_counts(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0u64) += 1;
+    }
+    counts
+}

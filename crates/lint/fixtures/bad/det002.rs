@@ -1,0 +1,11 @@
+//! Bad-code fixture: DET002 — wall-clock read outside the bench crate.
+//! `tkij-lint check <this file>` must exit 1.
+
+use std::time::Instant;
+
+pub fn scored_with_clock(items: &[u64]) -> u64 {
+    let started = Instant::now();
+    let score: u64 = items.iter().sum();
+    // Folding elapsed time into a result makes it nondeterministic.
+    score.wrapping_add(started.elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,13 @@
+//! Bad-code fixture: DET003 — thread-identity branching.
+//! `tkij-lint check <this file>` must exit 1.
+
+pub fn chunk_bias() -> u64 {
+    // Branching on which thread runs this chunk breaks bit-identical
+    // counters across worker_threads settings.
+    let id = std::thread::current().id();
+    if format!("{id:?}").len() % 2 == 0 {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,10 @@
+//! Bad-code fixture: DET004 — OS-entropy RNG seeding.
+//! `tkij-lint check <this file>` must exit 1.
+
+pub fn shuffled(items: &mut Vec<u64>) {
+    let mut rng = rand::thread_rng();
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}

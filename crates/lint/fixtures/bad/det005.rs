@@ -1,0 +1,11 @@
+//! Bad-code fixture: DET005 — atomic use without a rationale comment.
+//! `tkij-lint check <this file>` must exit 1.
+//!
+//! (The rule wants a nearby comment explaining why the chosen memory
+//! semantics cannot affect results or counters; this file has none.)
+
+use std::sync::atomic::AtomicU64;
+
+pub fn publish(bound: &AtomicU64, score_bits: u64) {
+    bound.fetch_max(score_bits, std::sync::atomic::Ordering::Relaxed);
+}

@@ -1,0 +1,11 @@
+//! Bad-code fixture: SUP001 — suppression without a reason. The
+//! reasonless `allow` is itself a finding and suppresses nothing, so
+//! `tkij-lint check <this file>` must exit 1 with both SUP001 and
+//! DET001.
+
+// tkij-lint: allow(DET001)
+use std::collections::HashMap;
+
+pub fn lookup(map: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    map.get(&key).copied()
+}

@@ -1,0 +1,32 @@
+//! Registry-drift fixture: the bench emission surface, with one
+//! planted drift — `topbuckets_selected` is declared in
+//! `TopBucketsStats` and gated in `BENCH_BASELINE.json`, but the
+//! emission below forgot it. The cross-checker must report REG103
+//! (field not emitted) and REG102 (gated key no longer emitted).
+
+fn emit(report: &ExecutionReport, n: &str) {
+    let mut metrics: Vec<(String, String)> = Vec::new();
+    let mut push = |key: &str, value: String| metrics.push((key.to_string(), value));
+    // (blank lines keep the closure definition's own `.push(` site
+    // away from the first key literal, as in the real bench_smoke)
+
+    push(&format!("{n}_tuples_scored"), report.tuples_scored().to_string());
+    push(&format!("{n}_candidates_visited"), report.candidates_visited().to_string());
+    push(&format!("{n}_index_probes"), report.index_probes().to_string());
+    push(&format!("{n}_items_scanned"), report.items_scanned().to_string());
+    push(&format!("{n}_buckets_rtree"), report.buckets_rtree().to_string());
+    push(&format!("{n}_buckets_sweep"), report.buckets_sweep().to_string());
+    push(&format!("{n}_probe_chunks"), report.probe_chunks().to_string());
+
+    push("topbuckets_candidates", report.topbuckets.candidates.to_string());
+    // DRIFT: push("topbuckets_selected", ..) is missing here.
+    push("topbuckets_solver_calls", report.topbuckets.solver_calls.to_string());
+    push("topbuckets_pruned_local", report.topbuckets.pruned_local.to_string());
+    push("topbuckets_pruned_merge", report.topbuckets.pruned_merge.to_string());
+
+    push("dtb_assignments_scored", report.distribution.assignments_scored.to_string());
+    push("dtb_cap_fallbacks", report.distribution.cap_fallbacks.to_string());
+    push("dtb_shuffle_records", report.distribution.estimated_shuffle_records.to_string());
+    push("dtb_replication_factor", format!("{:.6}", report.distribution.replication_factor));
+    push("dtb_result_imbalance", format!("{:.6}", report.distribution.result_imbalance));
+}

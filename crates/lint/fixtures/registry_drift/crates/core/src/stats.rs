@@ -1,0 +1,75 @@
+//! Registry-drift fixture: a miniature copy of the four counter
+//! surfaces' *shape* (never compiled — only parsed by the registry
+//! cross-checker). The drift planted in this mini-workspace lives in
+//! `crates/bench/src/bin/bench_smoke.rs`, which forgot to emit
+//! `topbuckets_selected`.
+
+pub struct LocalJoinStats {
+    pub combos_assigned: usize,
+    pub combos_processed: usize,
+    pub tuples_scored: u64,
+    pub candidates_visited: u64,
+    pub index_probes: u64,
+    pub items_scanned: u64,
+    pub buckets_rtree: u64,
+    pub buckets_sweep: u64,
+    pub probe_chunks: u64,
+    pub intra_threads_used: u64,
+    pub kth_score: f64,
+}
+
+pub struct TopBucketsStats {
+    pub candidates: usize,
+    pub selected: usize,
+    pub solver_calls: usize,
+    pub pruned_local: usize,
+    pub pruned_merge: usize,
+    pub worker_groups: usize,
+    pub total_results: u128,
+    pub selected_results: u128,
+    pub duration: Duration,
+}
+
+pub struct DistributionSummary {
+    pub policy: DistributionPolicy,
+    pub duration: Duration,
+    pub replication_factor: f64,
+    pub estimated_shuffle_records: u64,
+    pub result_imbalance: f64,
+    pub assignments_scored: u64,
+    pub cap_fallbacks: u64,
+}
+
+impl ExecutionReport {
+    pub fn tuples_scored(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.tuples_scored).sum()
+    }
+
+    pub fn candidates_visited(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.candidates_visited).sum()
+    }
+
+    pub fn index_probes(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.index_probes).sum()
+    }
+
+    pub fn items_scanned(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.items_scanned).sum()
+    }
+
+    pub fn buckets_rtree(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.buckets_rtree).sum()
+    }
+
+    pub fn buckets_sweep(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.buckets_sweep).sum()
+    }
+
+    pub fn probe_chunks(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.probe_chunks).sum()
+    }
+
+    pub fn intra_threads_used(&self) -> u64 {
+        self.local_stats.iter().map(|s| s.intra_threads_used).max().unwrap_or(0)
+    }
+}

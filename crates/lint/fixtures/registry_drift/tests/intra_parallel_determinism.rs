@@ -1,0 +1,35 @@
+//! Registry-drift fixture: the fingerprint surface (parsed, never
+//! compiled). Captures every non-timing stats field plus the wholesale
+//! per-reducer `local_stats`, exactly like the real battery — this
+//! surface is drift-free; the planted drift is bench-side.
+
+struct Fingerprint {
+    results: Vec<(u64, u64)>,
+    topbuckets: (usize, usize, usize, usize, usize, usize, u128, u128),
+    distribution: (f64, u64, f64, u64, u64),
+    local_stats: Vec<LocalJoinStats>,
+}
+
+fn fingerprint(report: &ExecutionReport) -> Fingerprint {
+    Fingerprint {
+        results: report.results.iter().map(|m| (m.score.to_bits(), m.ids[0])).collect(),
+        topbuckets: (
+            report.topbuckets.candidates,
+            report.topbuckets.selected,
+            report.topbuckets.solver_calls,
+            report.topbuckets.pruned_local,
+            report.topbuckets.pruned_merge,
+            report.topbuckets.worker_groups,
+            report.topbuckets.total_results,
+            report.topbuckets.selected_results,
+        ),
+        distribution: (
+            report.distribution.replication_factor,
+            report.distribution.estimated_shuffle_records,
+            report.distribution.result_imbalance,
+            report.distribution.assignments_scored,
+            report.distribution.cap_fallbacks,
+        ),
+        local_stats: report.local_stats.clone(),
+    }
+}

@@ -1,0 +1,576 @@
+//! Layer 2: the counter-registry cross-check.
+//!
+//! The workspace's deterministic work counters live in four places that
+//! must stay in lock-step:
+//!
+//! 1. the **struct field lists** of `LocalJoinStats`, `TopBucketsStats`
+//!    and `DistributionSummary`, plus the `u64` aggregate accessors of
+//!    `ExecutionReport`, all in `crates/core/src`;
+//! 2. the **JSON keys emitted by `bench_smoke`**
+//!    (`crates/bench/src/bin/bench_smoke.rs`);
+//! 3. the **gated keys** in `BENCH_BASELINE.json`;
+//! 4. the **fingerprint structs** of `tests/thread_determinism.rs` and
+//!    `tests/intra_parallel_determinism.rs`.
+//!
+//! "Added a counter but forgot to gate or fingerprint it" used to be a
+//! reviewer catch; this module makes it a CI failure: any counter that
+//! exists in one place but not the others is reported, modulo the
+//! explicit per-sink exclusion lists below (timing fields, execution
+//! -shape fields like `intra_threads_used`, derived magnitudes).
+
+use crate::lexer::{scrub, word_positions, Scrubbed};
+use crate::report::Finding;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// `TopBucketsStats` fields that are deliberately *not* emitted/gated
+/// by `bench_smoke` (they are still fingerprinted): `worker_groups` is
+/// an execution-shape record of the candidate partitioning,
+/// `total_results`/`selected_results` are `u128` magnitudes whose gated
+/// derivative is the pruning counters, `duration` is timing.
+const TOPBUCKETS_BENCH_EXCLUDED: [&str; 4] =
+    ["worker_groups", "total_results", "selected_results", "duration"];
+
+/// `TopBucketsStats` fields excluded from the fingerprint check:
+/// timing only.
+const TOPBUCKETS_FP_EXCLUDED: [&str; 1] = ["duration"];
+
+/// `DistributionSummary` fields that are configuration echo or timing,
+/// not counters.
+const DISTRIBUTION_EXCLUDED: [&str; 2] = ["policy", "duration"];
+
+/// `bench_smoke` emits `estimated_shuffle_records` under a shorter
+/// key; the registry maps struct field → emitted `dtb_*` suffix.
+const DISTRIBUTION_KEY_ALIASES: [(&str, &str); 1] =
+    [("estimated_shuffle_records", "shuffle_records")];
+
+/// `LocalJoinStats` fields with no per-backend `bench_smoke` key and no
+/// `ExecutionReport` aggregate: `combos_*` are per-reducer scheduling
+/// detail, `kth_score` surfaces as `reducer_kth_scores`/
+/// `min_kth_score`, `intra_threads_used` is the execution-shape record
+/// (emitted only as the `hot_intra_threads_used` probe). All of them
+/// are still covered by the fingerprints' wholesale `local_stats`
+/// clone.
+const LOCALJOIN_BENCH_EXCLUDED: [&str; 4] =
+    ["combos_assigned", "combos_processed", "kth_score", "intra_threads_used"];
+
+/// Everything the four surfaces declare, parsed.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub localjoin_fields: Vec<String>,
+    pub topbuckets_fields: Vec<String>,
+    pub distribution_fields: Vec<String>,
+    /// `pub fn name(&self) -> u64` accessors of `ExecutionReport`.
+    pub report_accessors: Vec<String>,
+    /// Literal keys `bench_smoke` pushes (e.g. `topbuckets_candidates`).
+    pub bench_literal_keys: Vec<String>,
+    /// Per-backend key suffixes (`push(&format!("{n}_<suffix>"), ..)`).
+    pub bench_backend_suffixes: Vec<String>,
+    /// Keys gated in `BENCH_BASELINE.json`'s `metrics` object.
+    pub baseline_keys: Vec<String>,
+    /// Per fingerprint file: fields read as `.topbuckets.<f>` /
+    /// `.distribution.<f>`, whether `local_stats` is captured, and the
+    /// report accessors called.
+    pub fingerprints: Vec<FingerprintUse>,
+}
+
+#[derive(Debug, Default)]
+pub struct FingerprintUse {
+    pub file: PathBuf,
+    pub topbuckets_fields: BTreeSet<String>,
+    pub distribution_fields: BTreeSet<String>,
+    pub captures_local_stats: bool,
+}
+
+/// Where the four surfaces live under a workspace root. Separated from
+/// the parsing so tests can point the checker at fixture copies.
+#[derive(Debug, Clone)]
+pub struct RegistryPaths {
+    pub core_src_dir: PathBuf,
+    pub bench_smoke: PathBuf,
+    pub baseline: PathBuf,
+    pub fingerprint_tests: Vec<PathBuf>,
+}
+
+impl RegistryPaths {
+    /// The live workspace layout, relative to `root`.
+    pub fn for_workspace(root: &Path) -> Self {
+        RegistryPaths {
+            core_src_dir: root.join("crates/core/src"),
+            bench_smoke: root.join("crates/bench/src/bin/bench_smoke.rs"),
+            baseline: root.join("BENCH_BASELINE.json"),
+            fingerprint_tests: vec![
+                root.join("tests/thread_determinism.rs"),
+                root.join("tests/intra_parallel_determinism.rs"),
+            ],
+        }
+    }
+}
+
+/// Runs the full cross-check; findings are registry drifts (`REG1xx`)
+/// or parse failures (`REG001`).
+pub fn check_registry(paths: &RegistryPaths) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let reg = match parse_registry(paths, &mut findings) {
+        Some(reg) => reg,
+        None => return findings,
+    };
+    cross_check(&reg, paths, &mut findings);
+    findings
+}
+
+fn reg_fail(findings: &mut Vec<Finding>, file: &Path, message: String) {
+    findings.push(Finding { file: file.to_path_buf(), line: 0, code: "REG001", message });
+}
+
+fn parse_registry(paths: &RegistryPaths, findings: &mut Vec<Finding>) -> Option<Registry> {
+    let mut reg = Registry::default();
+
+    // --- 1. struct fields + accessors from crates/core/src -----------
+    let mut core_files: Vec<PathBuf> = std::fs::read_dir(&paths.core_src_dir)
+        .ok()?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    core_files.sort();
+    for file in &core_files {
+        let Ok(source) = std::fs::read_to_string(file) else { continue };
+        let s = scrub(&source);
+        if let Some(fields) = parse_struct_fields(&s, "LocalJoinStats") {
+            reg.localjoin_fields = fields;
+        }
+        if let Some(fields) = parse_struct_fields(&s, "TopBucketsStats") {
+            reg.topbuckets_fields = fields;
+        }
+        if let Some(fields) = parse_struct_fields(&s, "DistributionSummary") {
+            reg.distribution_fields = fields;
+        }
+        let accessors = parse_u64_accessors(&s, "ExecutionReport");
+        if !accessors.is_empty() {
+            reg.report_accessors = accessors;
+        }
+    }
+    for (what, got) in [
+        ("LocalJoinStats", &reg.localjoin_fields),
+        ("TopBucketsStats", &reg.topbuckets_fields),
+        ("DistributionSummary", &reg.distribution_fields),
+        ("ExecutionReport u64 accessors", &reg.report_accessors),
+    ] {
+        if got.is_empty() {
+            reg_fail(
+                findings,
+                &paths.core_src_dir,
+                format!("could not parse {what} from any file in this directory"),
+            );
+        }
+    }
+
+    // --- 2. bench_smoke emission -------------------------------------
+    match std::fs::read_to_string(&paths.bench_smoke) {
+        Ok(source) => {
+            let s = scrub(&source);
+            let (literal, suffixes) = parse_bench_keys(&s);
+            reg.bench_literal_keys = literal;
+            reg.bench_backend_suffixes = suffixes;
+            if reg.bench_literal_keys.is_empty() && reg.bench_backend_suffixes.is_empty() {
+                reg_fail(
+                    findings,
+                    &paths.bench_smoke,
+                    "no `push(\"<key>\", ..)` emission calls found".into(),
+                );
+            }
+        }
+        Err(e) => reg_fail(findings, &paths.bench_smoke, format!("cannot read: {e}")),
+    }
+
+    // --- 3. baseline keys --------------------------------------------
+    match std::fs::read_to_string(&paths.baseline) {
+        Ok(source) => {
+            reg.baseline_keys = parse_baseline_metric_keys(&source);
+            if reg.baseline_keys.is_empty() {
+                reg_fail(findings, &paths.baseline, "no keys under \"metrics\" found".into());
+            }
+        }
+        Err(e) => reg_fail(findings, &paths.baseline, format!("cannot read: {e}")),
+    }
+
+    // --- 4. fingerprint tests ----------------------------------------
+    for file in &paths.fingerprint_tests {
+        match std::fs::read_to_string(file) {
+            Ok(source) => {
+                let s = scrub(&source);
+                reg.fingerprints.push(FingerprintUse {
+                    file: file.clone(),
+                    topbuckets_fields: parse_member_reads(&s, "topbuckets"),
+                    distribution_fields: parse_member_reads(&s, "distribution"),
+                    captures_local_stats: s
+                        .code_lines
+                        .iter()
+                        .any(|l| word_positions(l, "local_stats").next().is_some()),
+                });
+            }
+            Err(e) => reg_fail(findings, file, format!("cannot read: {e}")),
+        }
+    }
+
+    if findings.is_empty() {
+        Some(reg)
+    } else {
+        None
+    }
+}
+
+fn cross_check(reg: &Registry, paths: &RegistryPaths, findings: &mut Vec<Finding>) {
+    let mut drift = |file: &Path, code: &'static str, message: String| {
+        findings.push(Finding { file: file.to_path_buf(), line: 0, code, message });
+    };
+
+    // REG101/REG102: bench emission ↔ baseline gate, both directions.
+    // `*_ms` keys are artifact-only by contract and never gated.
+    let mut emitted: BTreeSet<String> =
+        reg.bench_literal_keys.iter().filter(|k| !k.ends_with("_ms")).cloned().collect();
+    for suffix in &reg.bench_backend_suffixes {
+        if suffix.ends_with("_ms") {
+            continue;
+        }
+        // The gated configuration runs all three backends.
+        for backend in ["rtree", "sweep", "auto"] {
+            emitted.insert(format!("{backend}_{suffix}"));
+        }
+    }
+    for key in &emitted {
+        if !reg.baseline_keys.contains(key) {
+            drift(
+                &paths.baseline,
+                "REG101",
+                format!(
+                    "bench_smoke emits `{key}` but BENCH_BASELINE.json does not gate it — \
+                     add it to the baseline (or emit it as an `*_ms` artifact if it is timing)"
+                ),
+            );
+        }
+    }
+    for key in &reg.baseline_keys {
+        if !emitted.contains(key) {
+            drift(
+                &paths.bench_smoke,
+                "REG102",
+                format!(
+                    "BENCH_BASELINE.json gates `{key}` but bench_smoke no longer emits it — \
+                     the gate would compare against nothing"
+                ),
+            );
+        }
+    }
+
+    // REG103/REG104: TopBucketsStats fields → bench keys + fingerprints.
+    for field in &reg.topbuckets_fields {
+        if !TOPBUCKETS_BENCH_EXCLUDED.contains(&field.as_str())
+            && !reg.bench_literal_keys.contains(&format!("topbuckets_{field}"))
+        {
+            drift(
+                &paths.bench_smoke,
+                "REG103",
+                format!(
+                    "TopBucketsStats field `{field}` has no `topbuckets_{field}` emission in \
+                     bench_smoke — emit and gate it, or add it to the registry exclusion list \
+                     with a rationale"
+                ),
+            );
+        }
+        if !TOPBUCKETS_FP_EXCLUDED.contains(&field.as_str()) {
+            for fp in &reg.fingerprints {
+                if !fp.topbuckets_fields.contains(field) {
+                    drift(
+                        &fp.file,
+                        "REG104",
+                        format!(
+                            "TopBucketsStats field `{field}` is not read into this file's \
+                             determinism fingerprint — a drift in it would go unnoticed"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // REG105/REG106: DistributionSummary fields.
+    for field in &reg.distribution_fields {
+        if DISTRIBUTION_EXCLUDED.contains(&field.as_str()) {
+            continue;
+        }
+        let alias = DISTRIBUTION_KEY_ALIASES
+            .iter()
+            .find(|(f, _)| f == field)
+            .map(|(_, a)| *a)
+            .unwrap_or(field);
+        if !reg.bench_literal_keys.contains(&format!("dtb_{alias}")) {
+            drift(
+                &paths.bench_smoke,
+                "REG105",
+                format!(
+                    "DistributionSummary field `{field}` has no `dtb_{alias}` emission in \
+                     bench_smoke — emit and gate it, or exclude it with a rationale"
+                ),
+            );
+        }
+        for fp in &reg.fingerprints {
+            if !fp.distribution_fields.contains(field) {
+                drift(
+                    &fp.file,
+                    "REG106",
+                    format!(
+                        "DistributionSummary field `{field}` is not read into this file's \
+                         determinism fingerprint"
+                    ),
+                );
+            }
+        }
+    }
+
+    // REG107: every LocalJoinStats counter must surface per backend in
+    // bench_smoke (as a `{backend}_<field>` suffix) unless excluded.
+    for field in &reg.localjoin_fields {
+        if !LOCALJOIN_BENCH_EXCLUDED.contains(&field.as_str())
+            && !reg.bench_backend_suffixes.contains(field)
+        {
+            drift(
+                &paths.bench_smoke,
+                "REG107",
+                format!(
+                    "LocalJoinStats counter `{field}` has no per-backend `{{backend}}_{field}` \
+                     emission in bench_smoke — emit and gate it, or exclude it with a rationale"
+                ),
+            );
+        }
+    }
+
+    // REG108: ExecutionReport u64 aggregates must correspond to
+    // LocalJoinStats fields (they sum per-reducer telemetry; an
+    // accessor over a field the registry does not know about means the
+    // two lists drifted apart).
+    for acc in &reg.report_accessors {
+        if !reg.localjoin_fields.contains(acc) {
+            drift(
+                &paths.core_src_dir,
+                "REG108",
+                format!(
+                    "ExecutionReport::{acc}() aggregates no LocalJoinStats field of that name — \
+                     counter accessors and the per-reducer field list drifted apart"
+                ),
+            );
+        }
+    }
+
+    // REG109: the fingerprints must capture per-reducer telemetry
+    // wholesale — that is what makes every LocalJoinStats field
+    // (current and future) drift-checked by construction.
+    for fp in &reg.fingerprints {
+        if !fp.captures_local_stats {
+            drift(
+                &fp.file,
+                "REG109",
+                format!(
+                    "this determinism fingerprint does not capture `local_stats` — per-reducer \
+                     counters ({}, ...) would not be drift-checked",
+                    reg.localjoin_fields.first().map(String::as_str).unwrap_or("?")
+                ),
+            );
+        }
+    }
+}
+
+/// Parses `pub struct <name> { pub field: Ty, ... }` field names from a
+/// scrubbed file. Returns `None` when the struct is not in this file.
+fn parse_struct_fields(s: &Scrubbed, name: &str) -> Option<Vec<String>> {
+    let pat = format!("struct {name}");
+    let start = s
+        .code_lines
+        .iter()
+        .position(|l| word_positions(l, &pat).next().is_some() && l.contains('{'))?;
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    for line in &s.code_lines[start..] {
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        // Field pattern at struct depth: `pub <ident>:` — attributes
+        // and nested braces (none in these plain structs) aside.
+        if depth == 1 || (depth == 0 && line.contains('}')) {
+            if let Some(field) = field_name_of(line) {
+                fields.push(field);
+            }
+        }
+        if depth <= 0 {
+            return Some(fields);
+        }
+    }
+    Some(fields)
+}
+
+fn field_name_of(code_line: &str) -> Option<String> {
+    let t = code_line.trim_start();
+    let rest = t.strip_prefix("pub ")?;
+    let ident: String =
+        rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    let after = &rest[ident.len()..];
+    (!ident.is_empty() && after.trim_start().starts_with(':')).then_some(ident)
+}
+
+/// Parses `pub fn <name>(&self) -> u64` within `impl <name> {`.
+fn parse_u64_accessors(s: &Scrubbed, impl_name: &str) -> Vec<String> {
+    let pat = format!("impl {impl_name}");
+    let Some(start) = s.code_lines.iter().position(|l| word_positions(l, &pat).next().is_some())
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut entered = false;
+    for line in &s.code_lines[start..] {
+        if depth == 1 {
+            if let Some(rest) = line.trim_start().strip_prefix("pub fn ") {
+                let ident: String =
+                    rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+                let after = &rest[ident.len()..];
+                if after.contains("(&self)") && after.contains("-> u64") {
+                    out.push(ident);
+                }
+            }
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if entered && depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Collects `push("<key>", ..)` literal keys and
+/// `push(&format!("{n}_<suffix>"), ..)` per-backend suffixes: for each
+/// `push(` site in the code channel, the next string literal at or
+/// after it is the key expression.
+fn parse_bench_keys(s: &Scrubbed) -> (Vec<String>, Vec<String>) {
+    let mut literal = Vec::new();
+    let mut suffixes = Vec::new();
+    let mut push_sites: Vec<(usize, usize)> = Vec::new();
+    for (idx, line) in s.code_lines.iter().enumerate() {
+        for col in word_positions(line, "push") {
+            let after = line[col + "push".len()..].trim_start();
+            if after.starts_with('(') {
+                push_sites.push((idx + 1, col));
+            }
+        }
+    }
+    for (line, col) in push_sites {
+        // The key literal must sit on the call line or within the next
+        // two (the `&format!(..)` form wraps); a `push(` with no nearby
+        // literal is some other container's push, not an emission.
+        let Some(lit) = s
+            .strings
+            .iter()
+            .find(|l| (l.line > line || (l.line == line && l.col > col)) && l.line <= line + 2)
+        else {
+            continue;
+        };
+        match lit.content.strip_prefix("{n}_") {
+            Some(suffix) => suffixes.push(suffix.to_string()),
+            None => literal.push(lit.content.clone()),
+        }
+    }
+    (literal, suffixes)
+}
+
+/// Keys of the `"metrics": { ... }` object in the baseline JSON.
+fn parse_baseline_metric_keys(source: &str) -> Vec<String> {
+    let Some(pos) = source.find("\"metrics\"") else { return Vec::new() };
+    let Some(open_rel) = source[pos..].find('{') else { return Vec::new() };
+    let body = &source[pos + open_rel + 1..];
+    let end = body.find('}').unwrap_or(body.len());
+    let mut keys = Vec::new();
+    for line in body[..end].lines() {
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some(close) = rest.find('"') {
+                if rest[close + 1..].trim_start().starts_with(':') {
+                    keys.push(rest[..close].to_string());
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// Fields read as `.<member>.<field>` (e.g. `report.topbuckets.candidates`).
+fn parse_member_reads(s: &Scrubbed, member: &str) -> BTreeSet<String> {
+    let pat = format!(".{member}.");
+    let mut out = BTreeSet::new();
+    for line in &s.code_lines {
+        let mut rest = line.as_str();
+        while let Some(pos) = rest.find(&pat) {
+            let after = &rest[pos + pat.len()..];
+            let ident: String =
+                after.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+            if !ident.is_empty() {
+                out.insert(ident);
+            }
+            rest = after;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_field_parse() {
+        let src =
+            "/// Doc.\npub struct TopBucketsStats {\n    /// A counter.\n    pub candidates: \
+                   usize,\n    pub duration: Duration,\n}\n";
+        let fields = parse_struct_fields(&scrub(src), "TopBucketsStats").unwrap();
+        assert_eq!(fields, vec!["candidates", "duration"]);
+    }
+
+    #[test]
+    fn bench_key_parse() {
+        let src = "push(\"topbuckets_candidates\", x);\npush(\n    &format!(\"{n}_index_probes\"),\
+                   \n    y,\n);\n";
+        let (lit, suf) = parse_bench_keys(&scrub(src));
+        assert_eq!(lit, vec!["topbuckets_candidates"]);
+        assert_eq!(suf, vec!["index_probes"]);
+    }
+
+    #[test]
+    fn baseline_key_parse() {
+        let src = "{\n  \"comment\": \"x\",\n  \"metrics\": {\n    \"a_b\": 1,\n    \"c\": 2.0\n  \
+                   }\n}\n";
+        assert_eq!(parse_baseline_metric_keys(src), vec!["a_b", "c"]);
+    }
+
+    #[test]
+    fn member_read_parse() {
+        let src = "let x = report.topbuckets.candidates;\nlet y = (r.topbuckets.selected, \
+                   r.topbuckets.solver_calls);\n";
+        let got = parse_member_reads(&scrub(src), "topbuckets");
+        assert_eq!(
+            got.into_iter().collect::<Vec<_>>(),
+            vec!["candidates", "selected", "solver_calls"]
+        );
+    }
+}

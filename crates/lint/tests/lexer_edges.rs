@@ -1,0 +1,106 @@
+//! Lexer edge cases the whole lint pass rests on: raw strings and
+//! comments must never leak into the code channel (false positives),
+//! code after them must still be seen (false negatives), and `scrub`
+//! must be total over arbitrary input.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use tkij_lint::lexer::{has_word, scrub};
+use tkij_lint::rules::lint_file;
+
+fn codes(src: &str) -> Vec<&'static str> {
+    lint_file(&PathBuf::from("edge.rs"), "core", src).iter().map(|f| f.code).collect()
+}
+
+#[test]
+fn raw_string_containing_hashmap_is_not_flagged() {
+    let src = "let doc = r#\"use std::collections::HashMap; // still a string\"#;\n";
+    assert_eq!(codes(src), Vec::<&str>::new());
+    let s = scrub(src);
+    assert!(!has_word(&s.code_lines[0], "HashMap"));
+    assert_eq!(s.strings.len(), 1);
+    assert!(s.strings[0].content.contains("HashMap"));
+}
+
+#[test]
+fn raw_string_with_hashes_and_inner_quotes() {
+    let src = "let q = r##\"quoted \"# inside\" HashMap\"##; use std::collections::HashMap;\n";
+    // The literal's `"#` must not close it early; the real `HashMap`
+    // after the literal must still be flagged — exactly once.
+    assert_eq!(codes(src), vec!["DET001"]);
+    let s = scrub(src);
+    assert_eq!(s.strings[0].content, "quoted \"# inside\" HashMap");
+}
+
+#[test]
+fn nested_block_comments_blank_fully_and_close_correctly() {
+    let src = "/* outer /* HashMap inner */ still comment */ let x = 1;\n\
+               use std::collections::HashMap;\n";
+    // Only the real use on line 2 may be flagged; the doubly-nested
+    // comment must not, and `let x` after the close must be code.
+    let findings = lint_file(&PathBuf::from("edge.rs"), "core", src);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!((findings[0].code, findings[0].line), ("DET001", 2));
+    let s = scrub(src);
+    assert!(s.code_lines[0].contains("let x = 1;"));
+    assert!(s.comment_lines[0].contains("HashMap inner"));
+}
+
+#[test]
+fn comment_markers_inside_string_literals_stay_strings() {
+    // The `//` inside the literal must not start a comment — the
+    // HashMap after it on the same line is real code and must flag.
+    let src = "let url = \"https://example.com/x\"; use std::collections::HashMap;\n";
+    assert_eq!(codes(src), vec!["DET001"]);
+    let s = scrub(src);
+    assert_eq!(s.comment_lines[0], "");
+    assert_eq!(s.strings[0].content, "https://example.com/x");
+}
+
+#[test]
+fn char_literal_quote_does_not_open_a_string() {
+    // `'"'` must be consumed as a char literal, or everything after it
+    // would be swallowed as a string and the HashMap missed.
+    let src = "let c = '\"'; use std::collections::HashMap;\n";
+    assert_eq!(codes(src), vec!["DET001"]);
+    // Lifetimes must survive in the code channel.
+    let s = scrub("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+    assert!(s.code_lines[0].contains("'a"));
+}
+
+#[test]
+fn multi_line_string_blanks_every_line() {
+    let src = "let s = \"line one HashMap\nline two HashMap\";\nuse std::collections::HashMap;\n";
+    let findings = lint_file(&PathBuf::from("edge.rs"), "core", src);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn suppression_without_reason_still_fails_via_public_api() {
+    let src = "// tkij-lint: allow(DET002) --\n\
+               let t = std::time::Instant::now();\n";
+    let got = codes(src);
+    assert!(got.contains(&"DET002"), "reasonless allow must be inert: {got:?}");
+    assert!(got.contains(&"SUP001"), "and reported itself: {got:?}");
+}
+
+proptest! {
+    /// `scrub` is total: no panic on arbitrary (possibly non-UTF-8-
+    /// boundary-hostile) input, and the line structure always matches
+    /// the source's.
+    #[test]
+    fn scrub_never_panics_and_preserves_lines(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..400),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let s = scrub(&src);
+        let lines = src.split('\n').count();
+        prop_assert_eq!(s.code_lines.len(), lines);
+        prop_assert_eq!(s.comment_lines.len(), lines);
+        // The code channel is byte-preserving per line.
+        for (code, orig) in s.code_lines.iter().zip(src.split('\n')) {
+            prop_assert_eq!(code.len(), orig.len());
+        }
+    }
+}

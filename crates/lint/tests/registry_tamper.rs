@@ -1,0 +1,111 @@
+//! The registry cross-check must catch each drift class on a tampered
+//! copy of the *live* surfaces — not just on the committed mini-fixture
+//! — so the test proves the parsers actually understand the real
+//! `bench_smoke`, baseline, and fingerprint files.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use tkij_lint::registry::{check_registry, RegistryPaths};
+
+/// Copies the four live registry surfaces into a scratch directory
+/// laid out like the workspace, then applies `tamper` to one file.
+fn tampered_workspace(tag: &str, tamper_rel: &str, tamper: impl Fn(&str) -> String) -> PathBuf {
+    let live = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let root = std::env::temp_dir().join(format!("tkij-lint-tamper-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    for dir in ["crates/core/src", "crates/bench/src/bin", "tests"] {
+        std::fs::create_dir_all(root.join(dir)).expect("scratch dirs");
+    }
+    let mut surfaces = vec![
+        "crates/bench/src/bin/bench_smoke.rs".to_string(),
+        "BENCH_BASELINE.json".to_string(),
+        "tests/thread_determinism.rs".to_string(),
+        "tests/intra_parallel_determinism.rs".to_string(),
+    ];
+    for entry in std::fs::read_dir(live.join("crates/core/src")).expect("core src") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            surfaces
+                .push(format!("crates/core/src/{}", path.file_name().unwrap().to_str().unwrap()));
+        }
+    }
+    for rel in &surfaces {
+        let source = std::fs::read_to_string(live.join(rel)).expect("live surface readable");
+        let out = if rel == tamper_rel { tamper(&source) } else { source };
+        std::fs::write(root.join(rel), out).expect("scratch write");
+    }
+    root
+}
+
+fn codes_at(root: &Path) -> BTreeSet<&'static str> {
+    check_registry(&RegistryPaths::for_workspace(root)).iter().map(|f| f.code).collect()
+}
+
+/// Drops every source line containing `needle`.
+fn drop_lines(source: &str, needle: &str) -> String {
+    source.lines().filter(|l| !l.contains(needle)).map(|l| format!("{l}\n")).collect()
+}
+
+#[test]
+fn untampered_copy_is_clean() {
+    let root = tampered_workspace("clean", "BENCH_BASELINE.json", |s| s.to_string());
+    let codes = codes_at(&root);
+    assert!(codes.is_empty(), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deleting_a_backend_counter_emission_is_caught() {
+    // The acceptance drill: remove the per-backend `probe_chunks`
+    // emission from a copy of bench_smoke. The gate now compares
+    // against nothing (REG102 for each backend key) and the
+    // LocalJoinStats counter lost its emission (REG107).
+    let root = tampered_workspace("emission", "crates/bench/src/bin/bench_smoke.rs", |s| {
+        drop_lines(s, "{n}_probe_chunks")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG102"), "{codes:?}");
+    assert!(codes.contains("REG107"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deleting_a_literal_counter_emission_is_caught() {
+    let root = tampered_workspace("literal", "crates/bench/src/bin/bench_smoke.rs", |s| {
+        drop_lines(s, "\"topbuckets_pruned_merge\"")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG102"), "{codes:?}");
+    assert!(codes.contains("REG103"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deleting_a_gated_baseline_key_is_caught() {
+    let root = tampered_workspace("baseline", "BENCH_BASELINE.json", |s| {
+        drop_lines(s, "\"dtb_shuffle_records\"")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG101"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dropping_a_fingerprint_read_is_caught() {
+    let root = tampered_workspace("fingerprint", "tests/thread_determinism.rs", |s| {
+        drop_lines(s, ".topbuckets.solver_calls")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG104"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dropping_the_local_stats_capture_is_caught() {
+    let root = tampered_workspace("localstats", "tests/intra_parallel_determinism.rs", |s| {
+        s.replace("local_stats", "local_statz")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG109"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -66,6 +66,10 @@ where
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|_| loop {
+                // Relaxed ordering suffices: the cursor only hands out
+                // task indices exactly once (fetch_add is atomic at any
+                // ordering); each task's output lands in its own slot,
+                // so claim order can never reach results or counters.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -117,6 +121,7 @@ where
     P: Fn(&K) -> usize + Sync,
     F: Fn(usize, Vec<(K, Vec<V>)>) -> Vec<R> + Sync,
 {
+    // tkij-lint: allow(DET002) -- feeds only JobMetrics::wall, a timing artifact
     let job_start = Instant::now();
     let num_map_tasks = num_map_tasks.clamp(1, inputs.len().max(1));
     let chunk = inputs.len().div_ceil(num_map_tasks).max(1);
@@ -126,6 +131,7 @@ where
         let lo = (t * chunk).min(inputs.len());
         let hi = ((t + 1) * chunk).min(inputs.len());
         let mut em = Emitter::new(num_partitions, &partitioner);
+        // tkij-lint: allow(DET002) -- feeds only JobMetrics::map_durations, timing artifacts
         let started = Instant::now();
         mapper(t, &inputs[lo..hi], &mut em);
         (started.elapsed(), em.buffers)
@@ -174,6 +180,7 @@ where
     let reduce_results: Vec<(Duration, Vec<R>)> =
         run_tasks(num_partitions, cfg.worker_threads, |p| {
             let groups = grouped_slots[p].lock().take().expect("partition reduced once");
+            // tkij-lint: allow(DET002) -- feeds only JobMetrics::reduce_durations, timing artifacts
             let started = Instant::now();
             let out = reducer(p, groups);
             (started.elapsed(), out)
@@ -268,6 +275,8 @@ mod tests {
     #[test]
     fn empty_partitions_still_reduce() {
         let data = vec![1u64];
+        // Relaxed ordering throughout: the counter is only read after
+        // the job (and its thread joins) completed.
         let calls = AtomicUsize::new(0);
         let (_, metrics) = run_map_reduce(
             &data,
@@ -285,6 +294,7 @@ mod tests {
             },
             &ClusterConfig::default(),
         );
+        // Relaxed ordering: reading after every worker joined.
         assert_eq!(calls.load(Ordering::Relaxed), 4);
         assert_eq!(metrics.shuffle_records, vec![1, 0, 0, 0]);
     }

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example network_monitoring`
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tkij::core::hybrid::{execute_hybrid, AttrConstraint, AttrPredicate};
 use tkij::prelude::*;
 
@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Hybrid query: connection chains *of the same client* (attribute =
     // client id). This folds a non-temporal equality into the join.
-    let client_tables: Vec<HashMap<u64, u64>> = (0..3)
+    let client_tables: Vec<BTreeMap<u64, u64>> = (0..3)
         .map(|_| attrs.iter().enumerate().map(|(i, (c, _))| (i as u64, *c as u64)).collect())
         .collect();
     let query = table1::q_jbjb(PredicateParams::P3, avg);

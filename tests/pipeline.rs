@@ -1,7 +1,7 @@
 //! Full-pipeline plumbing: dataset preparation, updates, persistence,
 //! hybrid queries, determinism across cluster shapes, report contents.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tkij::core::hybrid::{execute_hybrid, AttrConstraint, AttrPredicate};
 use tkij::core::naive::naive_topk_where;
 use tkij::prelude::*;
@@ -79,7 +79,7 @@ fn hybrid_pipeline_matches_filtered_oracle() {
     let engine = Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4));
     let dataset = engine.prepare(uniform_collections(3, 28, 31)).unwrap();
     let q = table1::q_fb(PredicateParams::P1);
-    let tables: Vec<HashMap<u64, u64>> = dataset
+    let tables: Vec<BTreeMap<u64, u64>> = dataset
         .collections
         .iter()
         .map(|c| c.intervals().iter().map(|iv| (iv.id, iv.id % 4)).collect())
