@@ -16,7 +16,7 @@
 //!   guaranteed to lie in both intervals of any colocation match, so each
 //!   pair is emitted exactly once;
 //! * the earlier stages are exactly the paper's "first Map-Reduce phase
-//!   [that] builds intermediate results", whose cost grows with `|C_i|`
+//!   \[that\] builds intermediate results", whose cost grows with `|C_i|`
 //!   (the behavior Fig. 11b attributes to RCCIS);
 //! * the final stage checks any remaining (cycle) edges, and its
 //!   reducers stop after emitting `k` matches, as the paper imposes.

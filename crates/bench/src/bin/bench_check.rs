@@ -9,9 +9,9 @@
 //! * every numeric key of the *baseline* is tracked (the current report
 //!   may carry extra, untracked metrics — e.g. machine-dependent absolute
 //!   timings that only exist for the artifact);
-//! * higher is worse by default; keys containing `speedup` or `pruned`
-//!   invert (lower is worse: a speedup or pruning collapse is the
-//!   regression);
+//! * higher is worse by default; keys containing `speedup`, `pruned`,
+//!   or `qps` invert (lower is worse: a speedup, pruning, or throughput
+//!   collapse is the regression);
 //! * a zero baseline gates exactly: any growth from 0 fails (degenerate-
 //!   case counters are tracked to catch leaving the degenerate regime);
 //! * `tolerance` is the allowed relative regression, default `0.25`.
@@ -94,10 +94,12 @@ fn main() -> ExitCode {
             failed = true;
             continue;
         };
-        // Regression direction: higher is worse, except speedup ratios
-        // and pruning counters, where bigger is better (a pruning
-        // collapse, not a pruning improvement, is the regression).
-        let lower_is_worse = key.contains("speedup") || key.contains("pruned");
+        // Regression direction: higher is worse, except speedup ratios,
+        // pruning counters, and throughput (`qps`) metrics, where bigger
+        // is better (a pruning or throughput collapse, not an
+        // improvement, is the regression).
+        let lower_is_worse =
+            key.contains("speedup") || key.contains("pruned") || key.contains("qps");
         // A zero baseline has no meaningful relative delta: any growth
         // from 0 is an infinite regression (degenerate-case counters
         // like cap fallbacks are tracked precisely so that leaving the

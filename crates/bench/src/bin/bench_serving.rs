@@ -1,0 +1,185 @@
+//! CI serving-throughput probe: a pinned synthetic workload served as a
+//! mixed stream of `table1` query families from fixed concurrent
+//! threads against one shared `TkijServer`, emitting a flat JSON report
+//! on stdout (the same shape as `bench_smoke`).
+//!
+//! Before timing anything, every query shape is run solo through
+//! `Tkij::execute` and each served report is asserted **bit-identical**
+//! to its solo reference — results (ids and score bits) and every work
+//! counter — so the throughput number can never be bought with a
+//! correctness or determinism regression. The serving counters
+//! (`serving_queries`, `serving_plan_cache_hits`,
+//! `serving_plan_cache_misses`) are exact by construction: misses equal
+//! the number of distinct shapes, however the threads interleave, and
+//! are gated exactly; `serving_qps` (served queries per second, best-of
+//! [`TIMED_REPS`] timed repetitions) is the wall-clock throughput
+//! metric, gated with a generous floor (`bench_check` knows `qps` keys
+//! are better-higher).
+//!
+//! Usage: `bench_serving` (no arguments; the gated configuration).
+//!
+//! Refresh the baseline by re-running both harnesses and re-gating —
+//! see the "Serving layer" section of the README.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tkij_core::{ExecutionReport, LocalJoinStats, Tkij, TkijConfig, TkijServer};
+use tkij_datagen::synthetic::{uniform_collection, SyntheticConfig};
+use tkij_temporal::collection::CollectionId;
+use tkij_temporal::params::PredicateParams;
+use tkij_temporal::query::{table1, Query};
+
+/// Timed repetitions of the threaded serve phase (best-of).
+const TIMED_REPS: usize = 3;
+/// Concurrent query threads (fixed: the gated configuration).
+const THREADS: usize = 4;
+/// Full passes over the query mix each thread makes per repetition.
+const ROUNDS: usize = 2;
+/// Intervals per collection.
+const SIZE: usize = 3_000;
+/// Startpoint span (dense enough that probe work dominates).
+const START_SPAN: i64 = 15_000;
+const SEED: u64 = 4242;
+const GRANULES: u32 = 12;
+const REDUCERS: usize = 4;
+const K: usize = 50;
+
+/// The mixed `table1` query families every thread rotates through.
+fn query_mix() -> Vec<(&'static str, Query)> {
+    vec![
+        ("q_om", table1::q_om(PredicateParams::P1)),
+        ("q_oo", table1::q_oo(PredicateParams::P1)),
+        ("q_sm", table1::q_sm(PredicateParams::P2)),
+        ("q_ss", table1::q_ss(PredicateParams::P1)),
+        ("q_ff", table1::q_ff(PredicateParams::P1)),
+        ("q_bb", table1::q_bb(PredicateParams::P3)),
+    ]
+}
+
+/// The bit-comparable essence of one execution: results plus every
+/// deterministic work counter.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    results: Vec<(Vec<u64>, u64)>,
+    local_stats: Vec<LocalJoinStats>,
+    topbuckets_selected: usize,
+    topbuckets_solver_calls: usize,
+    assignments_scored: u64,
+    shuffle_records: u64,
+    buckets: (u64, u64),
+}
+
+fn fingerprint(report: &ExecutionReport) -> Fingerprint {
+    Fingerprint {
+        results: report.results.iter().map(|t| (t.ids.clone(), t.score.to_bits())).collect(),
+        local_stats: report.local_stats.clone(),
+        topbuckets_selected: report.topbuckets.selected,
+        topbuckets_solver_calls: report.topbuckets.solver_calls,
+        assignments_scored: report.distribution.assignments_scored,
+        shuffle_records: report.join.total_shuffle_records(),
+        buckets: (report.buckets_rtree(), report.buckets_sweep()),
+    }
+}
+
+/// One timed repetition: every thread serves the full mix [`ROUNDS`]
+/// times (offset rotation, so shapes interleave across threads), each
+/// report checked against its solo reference. Returns the wall time.
+fn serve_rep(
+    server: &Arc<TkijServer>,
+    queries: &[(&'static str, Query)],
+    solo: &[Fingerprint],
+) -> Duration {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..THREADS {
+            let handle = server.handle();
+            workers.push(scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for i in 0..queries.len() {
+                        let qi = (i + t + round) % queries.len();
+                        let report = handle.query(&queries[qi].1, K).expect("serve");
+                        assert_eq!(
+                            fingerprint(&report),
+                            solo[qi],
+                            "served {} diverges from its solo reference",
+                            queries[qi].0
+                        );
+                    }
+                }
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("serving thread");
+        }
+    });
+    started.elapsed()
+}
+
+fn main() {
+    let cfg = SyntheticConfig {
+        size: SIZE,
+        start_range: (0, START_SPAN),
+        length_range: (1, 100),
+        seed: SEED,
+    };
+    let collections: Vec<_> =
+        (0..3u32).map(|i| uniform_collection(CollectionId(i), &cfg)).collect();
+    let engine = Tkij::new(TkijConfig::default().with_granules(GRANULES).with_reducers(REDUCERS));
+    let dataset = engine.prepare(collections).expect("prepare");
+
+    // Solo references: each shape end-to-end through the single-query
+    // engine path (also the warm-up).
+    let queries = query_mix();
+    let solo: Vec<Fingerprint> = queries
+        .iter()
+        .map(|(_, q)| fingerprint(&engine.execute(&dataset, q, K).expect("solo")))
+        .collect();
+
+    let server = Arc::new(engine.serve(dataset));
+    let mut best = Duration::MAX;
+    for _ in 0..TIMED_REPS {
+        best = best.min(serve_rep(&server, &queries, &solo));
+    }
+
+    let stats = server.stats();
+    let per_rep = (THREADS * ROUNDS * queries.len()) as u64;
+    let shapes = queries.len() as u64;
+    // The serving counters are deterministic: one miss per distinct
+    // shape (the plan-cache OnceLock construction), hits for every
+    // repeat, regardless of thread interleaving.
+    assert_eq!(stats.queries, per_rep * TIMED_REPS as u64, "every query counted");
+    assert_eq!(stats.plan_cache_misses, shapes, "one miss per distinct shape");
+    assert_eq!(stats.plan_cache_hits, stats.queries - shapes, "hits are the repeats");
+    assert_eq!(server.plan_cache_len(), queries.len());
+    assert!(server.index_pool_len() > 0, "the shared index pool filled");
+
+    let wall_ms = best.as_secs_f64() * 1e3;
+    let qps = per_rep as f64 / best.as_secs_f64().max(1e-9);
+
+    let mut metrics: Vec<(String, String)> = Vec::new();
+    let mut push = |key: &str, value: String| metrics.push((key.to_string(), value));
+    push("serving_qps", format!("{qps:.3}"));
+    push("serving_wall_ms", format!("{wall_ms:.3}"));
+    push("serving_queries", stats.queries.to_string());
+    push("serving_plan_cache_hits", stats.plan_cache_hits.to_string());
+    push("serving_plan_cache_misses", stats.plan_cache_misses.to_string());
+
+    let names: Vec<&str> = queries.iter().map(|(n, _)| *n).collect();
+    println!("{{");
+    println!("  \"schema\": 3,");
+    println!(
+        "  \"workload\": {{ \"collections\": 3, \"size\": {SIZE}, \"start_span\": {START_SPAN}, \
+         \"granules\": {GRANULES}, \"reducers\": {REDUCERS}, \"k\": {K}, \"seed\": {SEED}, \
+         \"threads\": {THREADS}, \"rounds\": {ROUNDS}, \"reps\": {TIMED_REPS}, \
+         \"queries\": \"{}\" }},",
+        names.join("+")
+    );
+    println!("  \"metrics\": {{");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        println!("    \"{key}\": {value}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+}

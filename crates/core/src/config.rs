@@ -71,7 +71,7 @@ impl FromStr for Strategy {
 /// The candidate-source backend of the reducer-local rank-join.
 ///
 /// The paper's implementation keeps each bucket's intervals "in memory
-/// [in] R-Trees" (§4); [`LocalJoinBackend::Sweep`] is the drop-in,
+/// \[in\] R-Trees" (§4); [`LocalJoinBackend::Sweep`] is the drop-in,
 /// cache-friendly replacement built on endpoint-sorted gapless lanes
 /// (Piatov et al.). Both backends answer the same score-threshold window
 /// queries and produce identical top-k results (property-tested); sweep
@@ -211,6 +211,15 @@ pub struct TkijConfig {
     /// computed and drive the UB-descending access order and runtime
     /// early termination). Quantifies the benefit of Ω_{k,S} selection.
     pub pruning: bool,
+    /// Serving-layer plan cache switch (`tkij_core::serving`). When `true`
+    /// (default) a `TkijServer` caches the driver-side plan — TopBuckets
+    /// selection and reducer assignment — per (query graph, k) shape and
+    /// replays it on repeats; when `false` every query plans from
+    /// scratch (every served query then counts as a cache miss). Pure
+    /// wall-clock knob: planning is deterministic, so a cached plan is
+    /// bit-identical to a fresh one and results/counters never depend on
+    /// this switch.
+    pub plan_cache: bool,
 }
 
 impl Default for TkijConfig {
@@ -234,6 +243,7 @@ impl Default for TkijConfig {
             probe_chunk_items: crate::localjoin::PROBE_CHUNK_ITEMS,
             intra_shared_bound: true,
             pruning: true,
+            plan_cache: true,
         }
     }
 }
@@ -293,6 +303,13 @@ impl TkijConfig {
         self.pruning = false;
         self
     }
+
+    /// Convenience: disable the serving layer's plan cache (every served
+    /// query plans from scratch and counts as a cache miss).
+    pub fn without_plan_cache(mut self) -> Self {
+        self.plan_cache = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +326,7 @@ mod tests {
         assert_eq!(c.topbuckets_workers, 6);
         assert_eq!(c.probe_chunk_items, crate::localjoin::PROBE_CHUNK_ITEMS);
         assert!(c.intra_shared_bound, "the shared bound is on by default");
+        assert!(c.plan_cache, "the serving plan cache is on by default");
         // Chunked lanes unless the CI env hook forces the scalar
         // reference (keeps this test truthful under that matrix leg).
         assert_eq!(c.sweep_scan, SweepScanKind::from_env().unwrap_or(SweepScanKind::Chunked));
@@ -382,7 +400,8 @@ mod tests {
             .with_reducers(8)
             .with_probe_chunk_items(64)
             .with_sweep_scan(SweepScanKind::Scalar)
-            .without_intra_bound();
+            .without_intra_bound()
+            .without_plan_cache();
         assert_eq!(c.granules, 15);
         assert_eq!(c.strategy.name(), "two-phase");
         assert_eq!(c.distribution.name(), "LPT");
@@ -390,6 +409,7 @@ mod tests {
         assert_eq!(c.probe_chunk_items, 64);
         assert_eq!(c.sweep_scan, SweepScanKind::Scalar);
         assert!(!c.intra_shared_bound);
+        assert!(!c.plan_cache);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! and the [`ExecutionReport`] the evaluation section reads its numbers
 //! from.
 
-use crate::combos::TopBucketsStats;
+use crate::combos::{ComboSet, TopBucketsStats};
 use crate::config::{DistributionPolicy, LocalJoinBackend, Strategy, SweepScanKind, TkijConfig};
-use crate::distribute::distribute;
-use crate::localjoin::LocalJoinStats;
+use crate::distribute::{distribute, Assignment};
+use crate::localjoin::{IndexPools, LocalJoinStats};
 use crate::merge::run_merge_phase;
 use crate::stats::{collect_statistics, PreparedDataset};
 use crate::topbuckets::run_topbuckets;
@@ -74,13 +74,30 @@ impl Tkij {
     }
 
     /// Online phase: evaluates an RTJ query, returning the exact top-k and
-    /// the full execution report.
+    /// the full execution report. Equivalent to [`Tkij::plan_query`]
+    /// followed by [`Tkij::execute_planned`] — the serving layer
+    /// ([`crate::serving::TkijServer`]) splits the two so repeated query
+    /// shapes reuse the plan.
     pub fn execute(
         &self,
         dataset: &PreparedDataset,
         query: &Query,
         k: usize,
     ) -> Result<ExecutionReport, TemporalError> {
+        self.validate(dataset, query, k)?;
+        let plan = self.plan_unchecked(dataset, query, k);
+        Ok(self.execute_planned_impl(dataset, query, k, &plan, None))
+    }
+
+    /// Rejects queries the engine cannot evaluate against `dataset`:
+    /// `k = 0`, or a vertex referencing a collection the dataset does not
+    /// hold. Planning and execution are infallible afterwards.
+    pub(crate) fn validate(
+        &self,
+        dataset: &PreparedDataset,
+        query: &Query,
+        k: usize,
+    ) -> Result<(), TemporalError> {
         if k == 0 {
             return Err(TemporalError::InvalidQuery("k must be ≥ 1".into()));
         }
@@ -93,7 +110,12 @@ impl Tkij {
                 )));
             }
         }
+        Ok(())
+    }
 
+    /// The driver-side planning phases on an already-validated query;
+    /// see [`Tkij::plan_query`].
+    fn plan_unchecked(&self, dataset: &PreparedDataset, query: &Query, k: usize) -> QueryPlan {
         // (b) TopBuckets: bound and prune bucket combinations. The
         // ablation switch keeps the bounds (for ordering and runtime
         // termination) but retains every combination.
@@ -116,21 +138,92 @@ impl Tkij {
             &dataset.matrices,
         );
 
+        QueryPlan { selected, topbuckets, assignment }
+    }
+
+    /// Planning phase: validates the query, then runs the driver-side
+    /// phases — TopBuckets (paper Fig. 5b) and workload distribution
+    /// (Fig. 5c) — producing an immutable [`QueryPlan`] that
+    /// [`Tkij::execute_planned`] can evaluate any number of times.
+    ///
+    /// Planning reads only the dataset's statistics (never the interval
+    /// data) and is bit-deterministic: the same (dataset, query, k,
+    /// config) always yields the same plan, which is what makes the
+    /// serving layer's plan cache sound.
+    pub fn plan_query(
+        &self,
+        dataset: &PreparedDataset,
+        query: &Query,
+        k: usize,
+    ) -> Result<QueryPlan, TemporalError> {
+        self.validate(dataset, query, k)?;
+        Ok(self.plan_unchecked(dataset, query, k))
+    }
+
+    /// Execution phase: evaluates a previously planned query — the
+    /// distributed join (paper Fig. 5d) and merge (Fig. 5e) — and
+    /// assembles the full [`ExecutionReport`].
+    ///
+    /// `plan` must come from [`Tkij::plan_query`] on the same (dataset,
+    /// query, k, config); the report is then bit-identical to what
+    /// [`Tkij::execute`] would produce (the plan's recorded TopBuckets
+    /// and distribution wall times are replayed verbatim — timings are
+    /// never part of determinism fingerprints).
+    pub fn execute_planned(
+        &self,
+        dataset: &PreparedDataset,
+        query: &Query,
+        k: usize,
+        plan: &QueryPlan,
+    ) -> Result<ExecutionReport, TemporalError> {
+        self.validate(dataset, query, k)?;
+        Ok(self.execute_planned_impl(dataset, query, k, plan, None))
+    }
+
+    /// [`Tkij::execute_planned`] after validation, with the serving
+    /// layer's optional shared index pool.
+    pub(crate) fn execute_planned_impl(
+        &self,
+        dataset: &PreparedDataset,
+        query: &Query,
+        k: usize,
+        plan: &QueryPlan,
+        pools: Option<&IndexPools>,
+    ) -> ExecutionReport {
+        let QueryPlan { selected, topbuckets, assignment } = plan;
+
         // (d) Distributed local joins (probe streams sharded per the
         // engine's intra-join plan; threads come from the cluster's
-        // nested budget inside the join phase).
-        let (outputs, join_metrics) = crate::joinphase::run_join_phase_with(
-            dataset,
-            query,
-            &selected,
-            &assignment,
-            k,
-            &self.cluster,
-            self.config.local_backend,
-            self.config.sweep_scan,
-            None,
-            self.intra_join(),
-        );
+        // nested budget inside the join phase). Serving runs pass a
+        // shared index pool; results and counters are identical either
+        // way.
+        let (outputs, join_metrics) = match pools {
+            None => crate::joinphase::run_join_phase_with(
+                dataset,
+                query,
+                selected,
+                assignment,
+                k,
+                &self.cluster,
+                self.config.local_backend,
+                self.config.sweep_scan,
+                None,
+                self.intra_join(),
+            ),
+            Some(pools) => crate::joinphase::run_join_phase_pooled(
+                dataset,
+                query,
+                selected,
+                assignment,
+                k,
+                &self.cluster,
+                self.config.local_backend,
+                self.config.sweep_scan,
+                None,
+                self.intra_join(),
+                pools,
+            ),
+        };
 
         // (e) Merge.
         let (results, merge_metrics) = run_merge_phase(&outputs, k, &self.cluster);
@@ -144,7 +237,7 @@ impl Tkij {
             local_stats.push(o.stats);
         }
 
-        Ok(ExecutionReport {
+        ExecutionReport {
             query_name: query.name(),
             k,
             granules: dataset.granules,
@@ -152,7 +245,7 @@ impl Tkij {
             policy: self.config.distribution,
             backend: self.config.local_backend,
             sweep_scan: self.config.sweep_scan,
-            topbuckets,
+            topbuckets: topbuckets.clone(),
             distribution: DistributionSummary {
                 policy: self.config.distribution,
                 duration: assignment.duration,
@@ -167,8 +260,35 @@ impl Tkij {
             local_stats,
             reducer_kth_scores,
             results,
-        })
+        }
     }
+
+    /// Consumes the engine and a prepared dataset into a shareable
+    /// [`crate::serving::TkijServer`] for concurrent querying.
+    pub fn serve(self, dataset: PreparedDataset) -> crate::serving::TkijServer {
+        crate::serving::TkijServer::new(self, dataset)
+    }
+}
+
+/// An immutable driver-side execution plan for one (query, k) shape: the
+/// selected combinations `Ω_{k,S}` from TopBuckets, the phase's
+/// telemetry, and the reducer assignment the distribution policy chose.
+///
+/// Produced by [`Tkij::plan_query`], consumed (any number of times) by
+/// [`Tkij::execute_planned`]. The serving layer caches plans per query
+/// shape — see [`crate::serving::TkijServer`] — which is sound because
+/// planning is a pure, deterministic function of (dataset statistics,
+/// query, k, config).
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The selected bucket-combination set `Ω_{k,S}` (TopBuckets output).
+    pub selected: ComboSet,
+    /// TopBuckets telemetry recorded when the plan was made (its
+    /// `duration` is the original planning wall time, replayed verbatim
+    /// into every report built from this plan).
+    pub topbuckets: TopBucketsStats,
+    /// The (combo → reducer) assignment and its shuffle plan.
+    pub assignment: Assignment,
 }
 
 /// Summary of the distribution phase.

@@ -8,7 +8,7 @@
 use crate::combos::ComboSet;
 use crate::config::{LocalJoinBackend, SweepScanKind};
 use crate::distribute::Assignment;
-use crate::localjoin::{IntraJoin, LocalJoinStats};
+use crate::localjoin::{IndexPools, IntraJoin, LocalJoinStats};
 use crate::stats::PreparedDataset;
 use std::collections::BTreeMap;
 use tkij_mapreduce::{run_map_reduce, ClusterConfig, JobMetrics, SizeOf};
@@ -94,6 +94,60 @@ pub fn run_join_phase_with(
     filter: Option<&dyn crate::localjoin::TupleFilter>,
     intra: IntraJoin,
 ) -> (Vec<ReducerOutput>, JobMetrics) {
+    run_join_phase_impl(
+        dataset, query, combos, assignment, k, cluster, backend, scan, filter, intra, None,
+    )
+}
+
+/// [`run_join_phase_with`] serving reducer bucket indexes from a shared
+/// [`IndexPools`] (the serving layer's read-only per-(collection, bucket)
+/// index cache) instead of building them per reducer. Results and every
+/// work counter are bit-identical to the unpooled entry — pooling
+/// amortizes only the index *build* work across queries (see
+/// [`crate::localjoin::local_topk_join_pooled`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_join_phase_pooled(
+    dataset: &PreparedDataset,
+    query: &Query,
+    combos: &ComboSet,
+    assignment: &Assignment,
+    k: usize,
+    cluster: &ClusterConfig,
+    backend: LocalJoinBackend,
+    scan: SweepScanKind,
+    filter: Option<&dyn crate::localjoin::TupleFilter>,
+    intra: IntraJoin,
+    pools: &IndexPools,
+) -> (Vec<ReducerOutput>, JobMetrics) {
+    run_join_phase_impl(
+        dataset,
+        query,
+        combos,
+        assignment,
+        k,
+        cluster,
+        backend,
+        scan,
+        filter,
+        intra,
+        Some(pools),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_join_phase_impl(
+    dataset: &PreparedDataset,
+    query: &Query,
+    combos: &ComboSet,
+    assignment: &Assignment,
+    k: usize,
+    cluster: &ClusterConfig,
+    backend: LocalJoinBackend,
+    scan: SweepScanKind,
+    filter: Option<&dyn crate::localjoin::TupleFilter>,
+    intra: IntraJoin,
+    pools: Option<&IndexPools>,
+) -> (Vec<ReducerOutput>, JobMetrics) {
     // Map input: the intervals of every collection some vertex reads.
     let mut used = vec![false; dataset.collections.len()];
     for cid in &query.vertices {
@@ -163,19 +217,35 @@ pub fn run_join_phase_with(
             for bucket in data.values_mut() {
                 bucket.sort_unstable_by_key(|iv| (iv.start, iv.end, iv.id));
             }
-            let (topk, stats) = crate::localjoin::local_topk_join_planned(
-                backend,
-                scan,
-                query,
-                &plan,
-                k,
-                combos,
-                &assignment.reducer_combos[p],
-                &data,
-                filter,
-                choices.as_ref(),
-                intra,
-            );
+            let (topk, stats) = match pools {
+                None => crate::localjoin::local_topk_join_planned(
+                    backend,
+                    scan,
+                    query,
+                    &plan,
+                    k,
+                    combos,
+                    &assignment.reducer_combos[p],
+                    &data,
+                    filter,
+                    choices.as_ref(),
+                    intra,
+                ),
+                Some(pools) => crate::localjoin::local_topk_join_pooled(
+                    backend,
+                    scan,
+                    query,
+                    &plan,
+                    k,
+                    combos,
+                    &assignment.reducer_combos[p],
+                    &data,
+                    filter,
+                    choices.as_ref(),
+                    intra,
+                    pools,
+                ),
+            };
             vec![ReducerOutput { reducer: p as u32, results: topk.into_sorted_vec(), stats }]
         },
         cluster,

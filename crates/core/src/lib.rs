@@ -13,7 +13,7 @@
 //!    bounds on bucket combinations and the `getTopBuckets` pruning of
 //!    Algorithm 1, under the `brute-force` / `loose` / `two-phase`
 //!    strategies of Algorithm 2.
-//! 3. **DistributeTopBuckets** ([`distribute`]): Algorithms 3–4, plus the
+//! 3. **DistributeTopBuckets** ([`mod@distribute`]): Algorithms 3–4, plus the
 //!    LPT baseline of §4.2.2.
 //! 4. **Distributed join** ([`joinphase`], [`localjoin`]): per-reducer
 //!    rank-joins with R-tree threshold access and early termination.
@@ -25,6 +25,13 @@
 //! engine's exactness guarantee. [`hybrid`] implements the paper's
 //! future-work extension: attribute constraints alongside temporal
 //! predicates.
+//!
+//! For long-lived deployments, [`serving`] splits the lifecycle into a
+//! *prepare* phase (statistics + immutable shared state) and a *query*
+//! phase any number of threads run concurrently — with a plan cache and
+//! a shared index pool, both bit-transparent to results and counters.
+
+#![warn(missing_docs)]
 
 pub mod combos;
 pub mod config;
@@ -35,6 +42,7 @@ pub mod joinphase;
 pub mod localjoin;
 pub mod merge;
 pub mod naive;
+pub mod serving;
 pub mod stats;
 pub mod topbuckets;
 
@@ -43,14 +51,16 @@ pub use config::{
     DistributionPolicy, LocalJoinBackend, ParseVariantError, Strategy, SweepScanKind, TkijConfig,
 };
 pub use distribute::{distribute, Assignment};
-pub use engine::{DistributionSummary, ExecutionReport, Tkij};
-pub use joinphase::{run_join_phase, run_join_phase_with, ReducerOutput};
+pub use engine::{DistributionSummary, ExecutionReport, QueryPlan, Tkij};
+pub use joinphase::{run_join_phase, run_join_phase_pooled, run_join_phase_with, ReducerOutput};
 pub use localjoin::{
-    local_topk_join, local_topk_join_on, local_topk_join_planned, select_backend, AutoIndex,
-    BackendChoices, IntraJoin, LocalJoinStats, AUTO_DENSITY_THRESHOLD, AUTO_RTREE_BAND_MIN_DENSITY,
-    AUTO_RTREE_MIN_CARDINALITY, INTRA_WAVE_CHUNKS, PROBE_CHUNK_ITEMS,
+    local_topk_join, local_topk_join_on, local_topk_join_planned, local_topk_join_pooled,
+    select_backend, AutoIndex, BackendChoices, IndexPools, IntraJoin, LocalJoinStats,
+    AUTO_DENSITY_THRESHOLD, AUTO_RTREE_BAND_MIN_DENSITY, AUTO_RTREE_MIN_CARDINALITY,
+    INTRA_WAVE_CHUNKS, PROBE_CHUNK_ITEMS,
 };
 pub use merge::run_merge_phase;
 pub use naive::{all_pair_scores, naive_boolean, naive_topk};
+pub use serving::{PlanKey, QueryHandle, ServingStats, TkijServer};
 pub use stats::{collect_statistics, BucketProfile, DensityMatrix, PreparedDataset};
 pub use topbuckets::{get_top_buckets, run_topbuckets};

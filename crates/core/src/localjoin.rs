@@ -51,8 +51,10 @@
 use crate::combos::ComboSet;
 use crate::config::{LocalJoinBackend, SweepScanKind};
 use crate::stats::BucketProfile;
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use tkij_index::{threshold_candidates, CandidateSource, RTree, SweepIndex, Window};
 use tkij_temporal::bucket::BucketId;
 use tkij_temporal::expr::Side;
@@ -306,6 +308,97 @@ impl ChosenBackend for AutoIndex {
     }
 }
 
+/// A shared index delegates the choice report to the index it wraps, so
+/// pooled (`Arc`-held) and per-reducer-owned indexes record identical
+/// `buckets_rtree` / `buckets_sweep` counters.
+impl<C: ChosenBackend> ChosenBackend for Arc<C> {
+    fn chosen(&self) -> LocalJoinBackend {
+        (**self).chosen()
+    }
+}
+
+/// The serving layer's shared, read-only index pool: one immutable index
+/// per (collection, bucket, backend), built on first use and reused by
+/// every subsequent query and reducer that ships the same bucket.
+///
+/// Sharing is sound because the contents of a pooled index are
+/// *query-independent*: the join-phase mapper ships **every** interval of
+/// a collection whose bucket the assignment needs, and each reducer sorts
+/// the slice by `(start, end, id)` before indexing — so any two queries
+/// (or reducers) that would build an index for the same (collection,
+/// bucket) build it from the identical canonical interval sequence. A
+/// pool hit therefore returns an index bit-identical to the one a cold
+/// build would produce, including probe visit order and every examined
+/// -item counter.
+///
+/// Keys use the *collection* id (not the query-vertex index) so self
+/// -joins and different queries over the same collection share entries.
+/// Concurrent first requests for one key may race to build; both builds
+/// are identical by the argument above and the first insert wins, so the
+/// race is benign (a little duplicated build work, never a different
+/// index).
+#[derive(Debug, Default)]
+pub struct IndexPools {
+    rtree: RwLock<BTreeMap<(u32, BucketId), Arc<RTree>>>,
+    sweep: RwLock<BTreeMap<(u32, BucketId), Arc<SweepIndex>>>,
+    auto: RwLock<BTreeMap<(u32, BucketId), Arc<AutoIndex>>>,
+}
+
+impl IndexPools {
+    /// An empty pool; indexes are built lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cached indexes across all backend kinds.
+    pub fn len(&self) -> usize {
+        self.rtree.read().len() + self.sweep.read().len() + self.auto.read().len()
+    }
+
+    /// Whether no index has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get_or_build<C>(
+        map: &RwLock<BTreeMap<(u32, BucketId), Arc<C>>>,
+        key: (u32, BucketId),
+        build: impl FnOnce() -> C,
+    ) -> Arc<C> {
+        if let Some(found) = map.read().get(&key) {
+            return Arc::clone(found);
+        }
+        // Built outside the write lock: a concurrent builder produces the
+        // identical index (see the type-level soundness argument), and
+        // `or_insert` keeps whichever landed first.
+        let built = Arc::new(build());
+        Arc::clone(map.write().entry(key).or_insert(built))
+    }
+
+    fn rtree(&self, key: (u32, BucketId), items: Vec<Interval>) -> Arc<RTree> {
+        Self::get_or_build(&self.rtree, key, || RTree::bulk_load(items))
+    }
+
+    fn sweep(
+        &self,
+        key: (u32, BucketId),
+        items: Vec<Interval>,
+        scan: SweepScanKind,
+    ) -> Arc<SweepIndex> {
+        Self::get_or_build(&self.sweep, key, || SweepIndex::build_with_scan(items, scan))
+    }
+
+    fn auto(
+        &self,
+        key: (u32, BucketId),
+        items: Vec<Interval>,
+        choice: LocalJoinBackend,
+        scan: SweepScanKind,
+    ) -> Arc<AutoIndex> {
+        Self::get_or_build(&self.auto, key, || AutoIndex::build_chosen(choice, items, scan))
+    }
+}
+
 /// A predicate over *partial* tuples (entries are `None` until their
 /// vertex is bound), used by hybrid queries to reject tuples on
 /// non-temporal attributes as early as possible. Must be monotone:
@@ -434,6 +527,70 @@ pub fn local_topk_join_planned(
                 let choice =
                     choices.and_then(|c| c.get(key).copied()).unwrap_or(LocalJoinBackend::Auto);
                 AutoIndex::build_chosen(choice, items, scan)
+            },
+        ),
+    }
+}
+
+/// [`local_topk_join_planned`] serving its bucket indexes from a shared
+/// [`IndexPools`] instead of building them per reducer. The join logic,
+/// visit order, and every work counter are bit-identical to the unpooled
+/// entry (see the pool's soundness documentation); only the index *build*
+/// work is amortized across queries. Pool keys translate the reducer's
+/// (vertex, bucket) to (collection, bucket) through `query.vertices`, so
+/// self-join vertices sharing a collection share one index.
+#[allow(clippy::too_many_arguments)]
+pub fn local_topk_join_pooled(
+    backend: LocalJoinBackend,
+    scan: SweepScanKind,
+    query: &Query,
+    plan: &JoinPlan,
+    k: usize,
+    combos: &ComboSet,
+    combo_indices: &[u32],
+    data: &BTreeMap<(u16, BucketId), Vec<Interval>>,
+    filter: Option<&dyn TupleFilter>,
+    choices: Option<&BackendChoices>,
+    intra: IntraJoin,
+    pools: &IndexPools,
+) -> (TopK, LocalJoinStats) {
+    let ckey = |key: &(u16, BucketId)| (query.vertices[key.0 as usize].0, key.1);
+    match backend {
+        LocalJoinBackend::RTree => join_generic(
+            query,
+            plan,
+            k,
+            combos,
+            combo_indices,
+            data,
+            filter,
+            intra,
+            |key, items| pools.rtree(ckey(key), items),
+        ),
+        LocalJoinBackend::Sweep => join_generic(
+            query,
+            plan,
+            k,
+            combos,
+            combo_indices,
+            data,
+            filter,
+            intra,
+            |key, items| pools.sweep(ckey(key), items, scan),
+        ),
+        LocalJoinBackend::Auto => join_generic(
+            query,
+            plan,
+            k,
+            combos,
+            combo_indices,
+            data,
+            filter,
+            intra,
+            |key, items| {
+                let choice =
+                    choices.and_then(|c| c.get(key).copied()).unwrap_or(LocalJoinBackend::Auto);
+                pools.auto(ckey(key), items, choice, scan)
             },
         ),
     }

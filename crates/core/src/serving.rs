@@ -1,0 +1,401 @@
+//! The serving layer: many concurrent queries over one shared,
+//! immutable [`PreparedDataset`].
+//!
+//! The paper's pipeline evaluates one query end-to-end; a production
+//! deployment amortizes the offline work across millions of requests.
+//! This module splits the engine's lifecycle accordingly:
+//!
+//! * **Prepare once** — [`Tkij::prepare`] collects statistics; wrapping
+//!   the result in a [`TkijServer`] freezes dataset, configuration, and
+//!   cluster shape into shared immutable state.
+//! * **Query many** — any number of threads call [`TkijServer::query`]
+//!   (or clone a cheap [`QueryHandle`]) concurrently. Each query gets
+//!   its own top-k heap, work counters, and [`ExecutionReport`]; the
+//!   *shared* state is strictly read-only.
+//!
+//! Two caches make repeated shapes cheap without touching a single
+//! result bit:
+//!
+//! * a **plan cache** keyed by [`PlanKey`] — the canonical query graph,
+//!   `k`, and the server's (strategy, backend, scan kind) — so repeated
+//!   query shapes skip TopBuckets planning and distribution entirely.
+//!   Planning is a pure deterministic function of (dataset statistics,
+//!   query, k, config), so a cached [`QueryPlan`] is bit-identical to a
+//!   freshly computed one.
+//! * a shared **index pool** ([`IndexPools`]) holding one immutable
+//!   index per (collection, bucket): reducers of every query reuse them
+//!   instead of rebuilding. Pool contents are query-independent (each
+//!   entry indexes the full canonical bucket slice), so probe order and
+//!   every examined-item counter match a per-query build exactly.
+//!
+//! The determinism contract therefore extends to serving: a query's
+//! results and work-counter fingerprint are bit-identical whether it
+//! runs solo through [`Tkij::execute`], repeated through a server, or
+//! interleaved with other queries from any number of threads — locked
+//! by `tests/serving_determinism.rs` and the `bench_serving` harness's
+//! in-binary assertions. Only the serving counters themselves
+//! ([`ServingStats`]) are new, and they are deterministic too: with the
+//! cache enabled, misses equal the number of *distinct* served shapes
+//! and hits the remainder, regardless of thread interleaving.
+
+use crate::config::TkijConfig;
+use crate::engine::{ExecutionReport, QueryPlan, Tkij};
+use crate::localjoin::IndexPools;
+use crate::stats::PreparedDataset;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use tkij_temporal::error::TemporalError;
+use tkij_temporal::query::Query;
+
+/// The plan-cache key: one entry per served query *shape*.
+///
+/// The query graph is keyed by its canonical `Debug` rendering —
+/// `Query` carries `f64` predicate parameters (no `Eq`/`Ord`), and
+/// Rust's float `Debug` prints the shortest round-tripping decimal, so
+/// the rendering is injective: equal strings ⇔ structurally equal
+/// queries. Strategy, backend, and scan kind are fixed per server but
+/// included so a key names the full plan-determining tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PlanKey {
+    /// Canonical rendering of the query graph (vertices, edges,
+    /// predicates, aggregation).
+    pub query_graph: String,
+    /// Result budget the plan was made for (TopBuckets prunes against
+    /// it, so different `k` need different plans).
+    pub k: usize,
+    /// TopBuckets strategy name (config echo).
+    pub strategy: &'static str,
+    /// Local-join backend name (config echo).
+    pub backend: &'static str,
+    /// Sweep run-scan kind name (config echo; never plan-relevant — the
+    /// kinds are bit-identical by contract).
+    pub scan: &'static str,
+}
+
+impl PlanKey {
+    /// The key under which `server` caches plans for `(query, k)`.
+    pub fn for_server(config: &TkijConfig, query: &Query, k: usize) -> Self {
+        PlanKey {
+            query_graph: format!("{query:?}"),
+            k,
+            strategy: config.strategy.name(),
+            backend: config.local_backend.name(),
+            scan: config.sweep_scan.name(),
+        }
+    }
+}
+
+/// Snapshot of a server's serving counters ([`TkijServer::stats`]).
+///
+/// All three are deterministic work counters (never timings): for a
+/// given multiset of served queries they are independent of thread
+/// count and interleaving, so the bench gate pins them exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Queries served (successful [`TkijServer::query`] calls;
+    /// validation rejects are not counted).
+    pub queries: u64,
+    /// Served queries whose plan came from the cache. With the cache
+    /// enabled this is exactly `queries − distinct shapes`, however the
+    /// callers interleave.
+    pub plan_cache_hits: u64,
+    /// Served queries that computed a fresh plan — one per distinct
+    /// [`PlanKey`] (or every query, with the cache disabled).
+    pub plan_cache_misses: u64,
+}
+
+/// Shared immutable state behind a server and all its handles.
+#[derive(Debug)]
+struct ServerInner {
+    engine: Tkij,
+    dataset: PreparedDataset,
+    /// Plan cache: each key's slot is created under the map lock, but
+    /// the (expensive) plan is computed inside the slot's `OnceLock` —
+    /// concurrent first requests for one shape serialize on the slot,
+    /// exactly one computes (the miss), and the map lock is never held
+    /// across planning.
+    plans: Mutex<BTreeMap<PlanKey, Arc<OnceLock<QueryPlan>>>>,
+    pools: IndexPools,
+    // Monotone event counters. Relaxed ordering suffices for all three:
+    // each is independently incremented and only ever read as a
+    // point-in-time snapshot (`stats`); no other memory is published
+    // through them, and their totals are interleaving-independent by
+    // the OnceLock construction above.
+    queries: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+}
+
+impl ServerInner {
+    fn query(&self, query: &Query, k: usize) -> Result<ExecutionReport, TemporalError> {
+        self.engine.validate(&self.dataset, query, k)?;
+        // Ordering rationale: Relaxed — monotone counter, see field docs.
+        self.queries.fetch_add(1, Ordering::Relaxed);
+
+        let report = if self.engine.config.plan_cache {
+            let slot = {
+                let mut plans = self.plans.lock();
+                Arc::clone(
+                    plans
+                        .entry(PlanKey::for_server(&self.engine.config, query, k))
+                        .or_insert_with(|| Arc::new(OnceLock::new())),
+                )
+            };
+            let mut fresh = false;
+            let plan = slot.get_or_init(|| {
+                fresh = true;
+                self.engine.plan_query(&self.dataset, query, k).expect("validated above")
+            });
+            // Ordering rationale: Relaxed — monotone counters, see field
+            // docs. `get_or_init` guarantees exactly one closure run per
+            // slot, so misses = distinct shapes deterministically.
+            if fresh {
+                self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            self.engine.execute_planned_impl(&self.dataset, query, k, plan, Some(&self.pools))
+        } else {
+            // Ordering rationale: Relaxed — monotone counter, see field
+            // docs. Cache disabled: every query plans fresh.
+            self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+            let plan = self.engine.plan_query(&self.dataset, query, k).expect("validated above");
+            self.engine.execute_planned_impl(&self.dataset, query, k, &plan, Some(&self.pools))
+        };
+        Ok(report)
+    }
+
+    fn stats(&self) -> ServingStats {
+        // Ordering rationale: Relaxed loads — point-in-time snapshot of
+        // independent monotone counters, see field docs.
+        ServingStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A prepared, immutable TKIJ serving instance: one engine
+/// configuration + cluster shape + [`PreparedDataset`], shared by any
+/// number of concurrent queriers.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tkij_core::serving::TkijServer;
+/// use tkij_core::{Tkij, TkijConfig};
+/// use tkij_datagen::uniform_collections;
+/// use tkij_temporal::params::PredicateParams;
+/// use tkij_temporal::query::table1;
+///
+/// let engine = Tkij::new(TkijConfig::default().with_granules(8).with_reducers(4));
+/// let dataset = engine.prepare(uniform_collections(3, 120, 42)).unwrap();
+/// let server = Arc::new(engine.serve(dataset));
+///
+/// // Any number of threads may query concurrently; results are
+/// // bit-identical to running each query alone.
+/// let query = table1::q_om(PredicateParams::P1);
+/// std::thread::scope(|scope| {
+///     for _ in 0..2 {
+///         let server = Arc::clone(&server);
+///         let query = query.clone();
+///         scope.spawn(move || {
+///             let report = server.query(&query, 5).unwrap();
+///             assert_eq!(report.results.len(), 5);
+///         });
+///     }
+/// });
+/// let stats = server.stats();
+/// assert_eq!(stats.queries, 2);
+/// assert_eq!(stats.plan_cache_misses, 1, "one distinct shape");
+/// assert_eq!(stats.plan_cache_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct TkijServer {
+    inner: Arc<ServerInner>,
+}
+
+impl TkijServer {
+    /// Freezes an engine and a prepared dataset into a serving instance
+    /// (also reachable as [`Tkij::serve`]). Caches start empty and fill
+    /// lazily as queries arrive.
+    pub fn new(engine: Tkij, dataset: PreparedDataset) -> Self {
+        TkijServer {
+            inner: Arc::new(ServerInner {
+                engine,
+                dataset,
+                plans: Mutex::new(BTreeMap::new()),
+                pools: IndexPools::new(),
+                queries: AtomicU64::new(0),
+                plan_cache_hits: AtomicU64::new(0),
+                plan_cache_misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Serves one query: plans (or replays a cached plan), runs the
+    /// distributed join and merge, and returns the full
+    /// [`ExecutionReport`] — bit-identical, results and work counters,
+    /// to [`Tkij::execute`] on the same inputs.
+    pub fn query(&self, query: &Query, k: usize) -> Result<ExecutionReport, TemporalError> {
+        self.inner.query(query, k)
+    }
+
+    /// A cheap cloneable handle sharing this server's state — the thing
+    /// to hand each worker thread of a request loop.
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServingStats {
+        self.inner.stats()
+    }
+
+    /// The shared prepared dataset queries run against.
+    pub fn dataset(&self) -> &PreparedDataset {
+        &self.inner.dataset
+    }
+
+    /// The frozen engine configuration.
+    pub fn config(&self) -> &TkijConfig {
+        &self.inner.engine.config
+    }
+
+    /// Distinct query shapes currently in the plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.inner.plans.lock().len()
+    }
+
+    /// Indexes currently in the shared (collection, bucket) pool.
+    pub fn index_pool_len(&self) -> usize {
+        self.inner.pools.len()
+    }
+}
+
+/// A cheap cloneable query handle onto a [`TkijServer`] — all clones
+/// share the server's dataset, plan cache, index pool, and counters.
+#[derive(Debug, Clone)]
+pub struct QueryHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl QueryHandle {
+    /// [`TkijServer::query`] through the handle.
+    pub fn query(&self, query: &Query, k: usize) -> Result<ExecutionReport, TemporalError> {
+        self.inner.query(query, k)
+    }
+
+    /// [`TkijServer::stats`] through the handle.
+    pub fn stats(&self) -> ServingStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkij_datagen::uniform_collections;
+    use tkij_temporal::params::PredicateParams;
+    use tkij_temporal::query::table1;
+
+    fn server() -> TkijServer {
+        let engine = Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4));
+        let dataset = engine.prepare(uniform_collections(3, 80, 7)).unwrap();
+        engine.serve(dataset)
+    }
+
+    #[test]
+    fn served_query_matches_solo_execute() {
+        let engine = Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4));
+        let dataset = engine.prepare(uniform_collections(3, 80, 7)).unwrap();
+        let q = table1::q_om(PredicateParams::P1);
+        let solo = engine.execute(&dataset, &q, 6).unwrap();
+        let srv = engine.serve(dataset);
+        for _ in 0..2 {
+            let served = srv.query(&q, 6).unwrap();
+            assert_eq!(served.results.len(), solo.results.len());
+            for (a, b) in served.results.iter().zip(&solo.results) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.ids, b.ids);
+            }
+            assert_eq!(served.local_stats, solo.local_stats);
+            assert_eq!(served.topbuckets.selected, solo.topbuckets.selected);
+        }
+        assert_eq!(
+            srv.stats(),
+            ServingStats { queries: 2, plan_cache_hits: 1, plan_cache_misses: 1 }
+        );
+        assert_eq!(srv.plan_cache_len(), 1);
+        assert!(srv.index_pool_len() > 0, "the pool filled");
+    }
+
+    #[test]
+    fn distinct_shapes_miss_distinctly() {
+        let srv = server();
+        let q1 = table1::q_om(PredicateParams::P1);
+        let q2 = table1::q_oo(PredicateParams::P1);
+        srv.query(&q1, 5).unwrap();
+        srv.query(&q2, 5).unwrap();
+        srv.query(&q1, 5).unwrap();
+        srv.query(&q1, 6).unwrap(); // same graph, different k: its own plan
+        let stats = srv.stats();
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.plan_cache_misses, 3);
+        assert_eq!(stats.plan_cache_hits, 1);
+        assert_eq!(srv.plan_cache_len(), 3);
+    }
+
+    #[test]
+    fn disabled_cache_counts_every_query_as_miss() {
+        let engine =
+            Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4).without_plan_cache());
+        let dataset = engine.prepare(uniform_collections(3, 60, 9)).unwrap();
+        let srv = engine.serve(dataset);
+        let q = table1::q_om(PredicateParams::P1);
+        let first = srv.query(&q, 5).unwrap();
+        let second = srv.query(&q, 5).unwrap();
+        assert_eq!(first.results, second.results);
+        assert_eq!(
+            srv.stats(),
+            ServingStats { queries: 2, plan_cache_hits: 0, plan_cache_misses: 2 }
+        );
+        assert_eq!(srv.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_and_uncounted() {
+        let srv = server();
+        let q = table1::q_om(PredicateParams::P1);
+        assert!(srv.query(&q, 0).is_err(), "k = 0 rejected");
+        assert_eq!(srv.stats(), ServingStats::default());
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let srv = server();
+        let handle = srv.handle();
+        let q = table1::q_sm(PredicateParams::P2);
+        handle.query(&q, 4).unwrap();
+        handle.clone().query(&q, 4).unwrap();
+        assert_eq!(srv.stats(), handle.stats());
+        assert_eq!(srv.stats().plan_cache_hits, 1);
+    }
+
+    #[test]
+    fn plan_key_is_injective_across_table1() {
+        let config = TkijConfig::default();
+        let avg = 40;
+        let mut keys = std::collections::BTreeSet::new();
+        for (_, q) in table1::all(PredicateParams::P1, avg) {
+            keys.insert(PlanKey::for_server(&config, &q, 10));
+        }
+        assert_eq!(keys.len(), table1::all(PredicateParams::P1, avg).len());
+        // Parameter changes change the key too.
+        let a = PlanKey::for_server(&config, &table1::q_om(PredicateParams::P1), 10);
+        let b = PlanKey::for_server(&config, &table1::q_om(PredicateParams::P2), 10);
+        assert_ne!(a, b);
+    }
+}

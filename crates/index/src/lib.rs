@@ -130,6 +130,25 @@ impl CandidateSource for SweepIndex {
     }
 }
 
+/// A shared (`Arc`-held) index is itself a candidate source: the serving
+/// layer builds each (collection, bucket) index once and hands clones of
+/// the `Arc` to every concurrent query's reducers. Probing through the
+/// `Arc` delegates to the inner backend, so visit order and the examined
+/// -item count are bit-identical to probing an owned index.
+impl<C: CandidateSource + Send> CandidateSource for std::sync::Arc<C> {
+    fn build(items: Vec<Interval>) -> Self {
+        std::sync::Arc::new(C::build(items))
+    }
+
+    fn items(&self) -> &[Interval] {
+        (**self).items()
+    }
+
+    fn probe<'t>(&'t self, window: &Window, visit: &mut dyn FnMut(&'t Interval)) -> u64 {
+        (**self).probe(window, visit)
+    }
+}
+
 /// Visits the intervals of `index` that *may* satisfy
 /// `s-p(anchor, ·) ≥ v` (or `s-p(·, anchor) ≥ v` when the anchor plays the
 /// right side). Returns the number of stored items the backend examined.

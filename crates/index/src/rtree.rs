@@ -2,7 +2,7 @@
 //!
 //! Intervals are points `(start, end)` in the endpoint plane. TKIJ's local
 //! join (paper §4, "Distributed join processing") keeps each bucket's
-//! intervals "in memory [in] R-Trees" and retrieves, for an anchor
+//! intervals "in memory \[in\] R-Trees" and retrieves, for an anchor
 //! interval and a score threshold `v`, only the intervals that can score
 //! at least `v` — which the predicate layer translates into an
 //! axis-aligned window (see [`crate::threshold_candidates`]).

@@ -6,11 +6,20 @@
 //! 1. the **struct field lists** of `LocalJoinStats`, `TopBucketsStats`
 //!    and `DistributionSummary`, plus the `u64` aggregate accessors of
 //!    `ExecutionReport`, all in `crates/core/src`;
-//! 2. the **JSON keys emitted by `bench_smoke`**
-//!    (`crates/bench/src/bin/bench_smoke.rs`);
+//! 2. the **JSON keys emitted by the bench harnesses**
+//!    (`crates/bench/src/bin/bench_smoke.rs` and, when the serving
+//!    layer exists, `crates/bench/src/bin/bench_serving.rs`);
 //! 3. the **gated keys** in `BENCH_BASELINE.json`;
-//! 4. the **fingerprint structs** of `tests/thread_determinism.rs` and
-//!    `tests/intra_parallel_determinism.rs`.
+//! 4. the **fingerprint structs** of the determinism batteries
+//!    (`tests/thread_determinism.rs`,
+//!    `tests/intra_parallel_determinism.rs` and, with the serving
+//!    layer, `tests/serving_determinism.rs`).
+//!
+//! The serving layer (`ServingStats`, `bench_serving`, the serving
+//! battery) is an *optional fifth surface*: a workspace without any of
+//! it (the registry-drift mini-fixture) skips those checks entirely,
+//! but as soon as one piece exists all three are required and
+//! cross-checked (REG110).
 //!
 //! "Added a counter but forgot to gate or fingerprint it" used to be a
 //! reviewer catch; this module makes it a CI failure: any counter that
@@ -68,6 +77,11 @@ pub struct Registry {
     pub bench_backend_suffixes: Vec<String>,
     /// Keys gated in `BENCH_BASELINE.json`'s `metrics` object.
     pub baseline_keys: Vec<String>,
+    /// `ServingStats` fields — empty when the workspace has no serving
+    /// layer (the optional fifth surface).
+    pub serving_fields: Vec<String>,
+    /// Literal keys `bench_serving` pushes (e.g. `serving_qps`).
+    pub serving_literal_keys: Vec<String>,
     /// Per fingerprint file: fields read as `.topbuckets.<f>` /
     /// `.distribution.<f>`, whether `local_stats` is captured, and the
     /// report accessors called.
@@ -88,8 +102,14 @@ pub struct FingerprintUse {
 pub struct RegistryPaths {
     pub core_src_dir: PathBuf,
     pub bench_smoke: PathBuf,
+    /// The serving-throughput harness — part of the optional serving
+    /// surface; may be absent (the mini-fixture has no serving layer).
+    pub bench_serving: PathBuf,
     pub baseline: PathBuf,
     pub fingerprint_tests: Vec<PathBuf>,
+    /// The serving determinism battery — required exactly when the
+    /// serving surface exists; parsed as a fingerprint file.
+    pub serving_battery: PathBuf,
 }
 
 impl RegistryPaths {
@@ -98,11 +118,13 @@ impl RegistryPaths {
         RegistryPaths {
             core_src_dir: root.join("crates/core/src"),
             bench_smoke: root.join("crates/bench/src/bin/bench_smoke.rs"),
+            bench_serving: root.join("crates/bench/src/bin/bench_serving.rs"),
             baseline: root.join("BENCH_BASELINE.json"),
             fingerprint_tests: vec![
                 root.join("tests/thread_determinism.rs"),
                 root.join("tests/intra_parallel_determinism.rs"),
             ],
+            serving_battery: root.join("tests/serving_determinism.rs"),
         }
     }
 }
@@ -145,6 +167,9 @@ fn parse_registry(paths: &RegistryPaths, findings: &mut Vec<Finding>) -> Option<
         }
         if let Some(fields) = parse_struct_fields(&s, "DistributionSummary") {
             reg.distribution_fields = fields;
+        }
+        if let Some(fields) = parse_struct_fields(&s, "ServingStats") {
+            reg.serving_fields = fields;
         }
         let accessors = parse_u64_accessors(&s, "ExecutionReport");
         if !accessors.is_empty() {
@@ -198,19 +223,46 @@ fn parse_registry(paths: &RegistryPaths, findings: &mut Vec<Finding>) -> Option<
     // --- 4. fingerprint tests ----------------------------------------
     for file in &paths.fingerprint_tests {
         match std::fs::read_to_string(file) {
-            Ok(source) => {
-                let s = scrub(&source);
-                reg.fingerprints.push(FingerprintUse {
-                    file: file.clone(),
-                    topbuckets_fields: parse_member_reads(&s, "topbuckets"),
-                    distribution_fields: parse_member_reads(&s, "distribution"),
-                    captures_local_stats: s
-                        .code_lines
-                        .iter()
-                        .any(|l| word_positions(l, "local_stats").next().is_some()),
-                });
-            }
+            Ok(source) => reg.fingerprints.push(parse_fingerprint_use(file, &scrub(&source))),
             Err(e) => reg_fail(findings, file, format!("cannot read: {e}")),
+        }
+    }
+
+    // --- 5. the serving surface (optional, all-or-nothing) -----------
+    // A workspace without a serving layer has neither a `ServingStats`
+    // struct nor a `bench_serving` harness and skips every serving
+    // check. As soon as either exists, all three serving surfaces
+    // (struct, harness, determinism battery) are required.
+    if !reg.serving_fields.is_empty() || paths.bench_serving.exists() {
+        if reg.serving_fields.is_empty() {
+            reg_fail(
+                findings,
+                &paths.core_src_dir,
+                "a bench_serving harness exists but no ServingStats struct parses from any \
+                 file in this directory"
+                    .into(),
+            );
+        }
+        match std::fs::read_to_string(&paths.bench_serving) {
+            Ok(source) => {
+                let (literal, _) = parse_bench_keys(&scrub(&source));
+                reg.serving_literal_keys = literal;
+                if reg.serving_literal_keys.is_empty() {
+                    reg_fail(
+                        findings,
+                        &paths.bench_serving,
+                        "no `push(\"<key>\", ..)` emission calls found".into(),
+                    );
+                }
+            }
+            Err(e) => reg_fail(findings, &paths.bench_serving, format!("cannot read: {e}")),
+        }
+        match std::fs::read_to_string(&paths.serving_battery) {
+            Ok(source) => {
+                reg.fingerprints
+                    .push(parse_fingerprint_use(&paths.serving_battery, &scrub(&source)));
+            }
+            Err(e) => reg_fail(findings, &paths.serving_battery, format!("cannot read: {e}")),
         }
     }
 
@@ -221,13 +273,29 @@ fn parse_registry(paths: &RegistryPaths, findings: &mut Vec<Finding>) -> Option<
     }
 }
 
+/// Parses one determinism battery's fingerprint reads.
+fn parse_fingerprint_use(file: &Path, s: &Scrubbed) -> FingerprintUse {
+    FingerprintUse {
+        file: file.to_path_buf(),
+        topbuckets_fields: parse_member_reads(s, "topbuckets"),
+        distribution_fields: parse_member_reads(s, "distribution"),
+        captures_local_stats: s
+            .code_lines
+            .iter()
+            .any(|l| word_positions(l, "local_stats").next().is_some()),
+    }
+}
+
 fn cross_check(reg: &Registry, paths: &RegistryPaths, findings: &mut Vec<Finding>) {
     let mut drift = |file: &Path, code: &'static str, message: String| {
         findings.push(Finding { file: file.to_path_buf(), line: 0, code, message });
     };
 
     // REG101/REG102: bench emission ↔ baseline gate, both directions.
-    // `*_ms` keys are artifact-only by contract and never gated.
+    // Both harnesses feed the same gate (CI concatenates their reports
+    // into one bench_check input), so their non-timing keys form one
+    // emitted set. `*_ms` keys are artifact-only by contract and never
+    // gated.
     let mut emitted: BTreeSet<String> =
         reg.bench_literal_keys.iter().filter(|k| !k.ends_with("_ms")).cloned().collect();
     for suffix in &reg.bench_backend_suffixes {
@@ -239,13 +307,14 @@ fn cross_check(reg: &Registry, paths: &RegistryPaths, findings: &mut Vec<Finding
             emitted.insert(format!("{backend}_{suffix}"));
         }
     }
+    emitted.extend(reg.serving_literal_keys.iter().filter(|k| !k.ends_with("_ms")).cloned());
     for key in &emitted {
         if !reg.baseline_keys.contains(key) {
             drift(
                 &paths.baseline,
                 "REG101",
                 format!(
-                    "bench_smoke emits `{key}` but BENCH_BASELINE.json does not gate it — \
+                    "a bench harness emits `{key}` but BENCH_BASELINE.json does not gate it — \
                      add it to the baseline (or emit it as an `*_ms` artifact if it is timing)"
                 ),
             );
@@ -253,11 +322,13 @@ fn cross_check(reg: &Registry, paths: &RegistryPaths, findings: &mut Vec<Finding
     }
     for key in &reg.baseline_keys {
         if !emitted.contains(key) {
+            let harness =
+                if key.starts_with("serving_") { &paths.bench_serving } else { &paths.bench_smoke };
             drift(
-                &paths.bench_smoke,
+                harness,
                 "REG102",
                 format!(
-                    "BENCH_BASELINE.json gates `{key}` but bench_smoke no longer emits it — \
+                    "BENCH_BASELINE.json gates `{key}` but no bench harness emits it — \
                      the gate would compare against nothing"
                 ),
             );
@@ -375,6 +446,23 @@ fn cross_check(reg: &Registry, paths: &RegistryPaths, findings: &mut Vec<Finding
                     "this determinism fingerprint does not capture `local_stats` — per-reducer \
                      counters ({}, ...) would not be drift-checked",
                     reg.localjoin_fields.first().map(String::as_str).unwrap_or("?")
+                ),
+            );
+        }
+    }
+
+    // REG110: every serving counter must surface as a gated
+    // `serving_<field>` key in bench_serving. A no-op when the
+    // workspace has no serving layer (`serving_fields` is empty).
+    for field in &reg.serving_fields {
+        let key = format!("serving_{field}");
+        if !reg.serving_literal_keys.contains(&key) {
+            drift(
+                &paths.bench_serving,
+                "REG110",
+                format!(
+                    "ServingStats counter `{field}` has no `{key}` emission in bench_serving — \
+                     emit and gate it, or exclude it with a rationale"
                 ),
             );
         }

@@ -18,9 +18,11 @@ fn tampered_workspace(tag: &str, tamper_rel: &str, tamper: impl Fn(&str) -> Stri
     }
     let mut surfaces = vec![
         "crates/bench/src/bin/bench_smoke.rs".to_string(),
+        "crates/bench/src/bin/bench_serving.rs".to_string(),
         "BENCH_BASELINE.json".to_string(),
         "tests/thread_determinism.rs".to_string(),
         "tests/intra_parallel_determinism.rs".to_string(),
+        "tests/serving_determinism.rs".to_string(),
     ];
     for entry in std::fs::read_dir(live.join("crates/core/src")).expect("core src") {
         let path = entry.expect("entry").path();
@@ -94,6 +96,32 @@ fn deleting_a_gated_baseline_key_is_caught() {
 fn dropping_a_fingerprint_read_is_caught() {
     let root = tampered_workspace("fingerprint", "tests/thread_determinism.rs", |s| {
         drop_lines(s, ".topbuckets.solver_calls")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG104"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deleting_a_serving_emission_is_caught() {
+    // The serving drill: remove the cache-hit counter emission from a
+    // copy of bench_serving. The baseline gates a key no harness emits
+    // (REG102) and the ServingStats counter lost its emission (REG110).
+    let root = tampered_workspace("serving", "crates/bench/src/bin/bench_serving.rs", |s| {
+        drop_lines(s, "\"serving_plan_cache_hits\"")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG102"), "{codes:?}");
+    assert!(codes.contains("REG110"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dropping_a_serving_battery_fingerprint_read_is_caught() {
+    // The serving battery is a fingerprint surface like the other two:
+    // dropping a TopBucketsStats read from it must trip REG104.
+    let root = tampered_workspace("servingfp", "tests/serving_determinism.rs", |s| {
+        drop_lines(s, ".topbuckets.pruned_local")
     });
     let codes = codes_at(&root);
     assert!(codes.contains("REG104"), "{codes:?}");

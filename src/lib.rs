@@ -35,6 +35,39 @@
 //! assert_eq!(report.results.len(), 10);
 //! assert!(report.results.windows(2).all(|w| w[0].score >= w[1].score));
 //! ```
+//!
+//! ## Serving: prepare once, query many
+//!
+//! For long-lived deployments, freeze the engine + dataset into a
+//! [`TkijServer`](crate::prelude::TkijServer) and query it from any
+//! number of threads — results and work counters are bit-identical to
+//! solo runs, and repeated query shapes reuse a cached plan:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tkij::prelude::*;
+//!
+//! let engine = Tkij::new(TkijConfig::default().with_granules(8).with_reducers(4));
+//! let dataset = engine.prepare(uniform_collections(3, 150, 7)).unwrap();
+//! let server = Arc::new(engine.serve(dataset));
+//!
+//! let queries = [table1::q_om(PredicateParams::P1), table1::q_oo(PredicateParams::P1)];
+//! std::thread::scope(|scope| {
+//!     for query in &queries {
+//!         let handle = server.handle();
+//!         scope.spawn(move || {
+//!             let report = handle.query(query, 5).unwrap();
+//!             assert_eq!(report.results.len(), 5);
+//!         });
+//!     }
+//! });
+//! assert_eq!(server.stats().queries, 2);
+//! ```
+//!
+//! See `ARCHITECTURE.md` for the phase pipeline, the prepare/query
+//! split, and where each determinism guarantee is enforced.
+
+#![warn(missing_docs)]
 
 pub use tkij_baselines as baselines;
 pub use tkij_core as core;
@@ -44,12 +77,19 @@ pub use tkij_mapreduce as mapreduce;
 pub use tkij_solver as solver;
 pub use tkij_temporal as temporal;
 
+// Compile-check every Rust block in the README as a doctest, so the
+// examples there (quickstart, serving layer, backends) cannot rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 /// The common imports for building and running RTJ queries.
 pub mod prelude {
     pub use tkij_core::{
         collect_statistics, naive_boolean, naive_topk, select_backend, BucketProfile,
-        DistributionPolicy, ExecutionReport, IntraJoin, LocalJoinBackend, PreparedDataset,
-        Strategy, SweepScanKind, Tkij, TkijConfig,
+        DistributionPolicy, ExecutionReport, IntraJoin, LocalJoinBackend, PlanKey, PreparedDataset,
+        QueryHandle, QueryPlan, ServingStats, Strategy, SweepScanKind, Tkij, TkijConfig,
+        TkijServer,
     };
     pub use tkij_datagen::{traffic_collection, uniform_collections, TrafficConfig};
     pub use tkij_mapreduce::ClusterConfig;

@@ -1,0 +1,165 @@
+//! Concurrent-serving determinism: a query served by a shared
+//! `TkijServer` must produce results and a **work-counter fingerprint**
+//! bit-identical to running it alone through `Tkij::execute` — whether
+//! it runs solo, repeated (plan-cache hits), or interleaved with other
+//! query shapes from `threads ∈ {1, 2, 4}` concurrent handles.
+//!
+//! The serving counters themselves are also pinned: with the plan cache
+//! enabled, misses equal the number of distinct served shapes and hits
+//! the remainder, regardless of interleaving — the property that lets
+//! `bench_serving` gate them exactly.
+
+use std::sync::Arc;
+use tkij::prelude::*;
+
+/// Every deterministic (non-timing) quantity of one execution, in a
+/// directly comparable shape (the same capture as the thread battery).
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    results: Vec<(Vec<u64>, u64)>,
+    local_stats: Vec<tkij::core::LocalJoinStats>,
+    reducer_kth_bits: Vec<u64>,
+    topbuckets: (usize, usize, usize, usize, usize, usize, u128, u128),
+    distribution: (u64, u64, u64, u64, u64),
+    join_shuffle: u64,
+    merge_shuffle: u64,
+    buckets: (u64, u64),
+}
+
+fn fingerprint(report: &ExecutionReport) -> Fingerprint {
+    Fingerprint {
+        results: report.results.iter().map(|t| (t.ids.clone(), t.score.to_bits())).collect(),
+        local_stats: report.local_stats.clone(),
+        reducer_kth_bits: report.reducer_kth_scores.iter().map(|s| s.to_bits()).collect(),
+        topbuckets: (
+            report.topbuckets.candidates,
+            report.topbuckets.selected,
+            report.topbuckets.solver_calls,
+            report.topbuckets.pruned_local,
+            report.topbuckets.pruned_merge,
+            report.topbuckets.worker_groups,
+            report.topbuckets.total_results,
+            report.topbuckets.selected_results,
+        ),
+        distribution: (
+            report.distribution.assignments_scored,
+            report.distribution.cap_fallbacks,
+            report.distribution.estimated_shuffle_records,
+            report.distribution.replication_factor.to_bits(),
+            report.distribution.result_imbalance.to_bits(),
+        ),
+        join_shuffle: report.join.total_shuffle_records(),
+        merge_shuffle: report.merge.total_shuffle_records(),
+        buckets: (report.buckets_rtree(), report.buckets_sweep()),
+    }
+}
+
+const K: usize = 8;
+const ROUNDS: usize = 2;
+
+/// The mixed query-shape workload every serving run interleaves.
+fn mixed_queries() -> Vec<Query> {
+    vec![
+        table1::q_om(PredicateParams::P1),
+        table1::q_oo(PredicateParams::P1),
+        table1::q_sm(PredicateParams::P2),
+        table1::q_ss(PredicateParams::P1),
+    ]
+}
+
+fn engine(backend: LocalJoinBackend) -> Tkij {
+    Tkij::new(TkijConfig::default().with_granules(6).with_reducers(4).with_local_backend(backend))
+}
+
+/// Serves every query `ROUNDS` times from each of `threads` concurrent
+/// handles (each thread starts the rotation at its own offset, so
+/// different shapes genuinely interleave), asserting every served
+/// report reproduces its solo reference bit for bit.
+fn assert_serving_matches_solo(backend: LocalJoinBackend, threads: usize) {
+    let engine = engine(backend);
+    let dataset = engine.prepare(uniform_collections(3, 80, 555)).unwrap();
+    let queries = mixed_queries();
+    let solo: Vec<Fingerprint> =
+        queries.iter().map(|q| fingerprint(&engine.execute(&dataset, q, K).unwrap())).collect();
+
+    let server = Arc::new(engine.serve(dataset));
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..threads {
+            let handle = server.handle();
+            let queries = &queries;
+            workers.push(scope.spawn(move || {
+                let mut got = Vec::new();
+                for round in 0..ROUNDS {
+                    for i in 0..queries.len() {
+                        let qi = (i + t + round) % queries.len();
+                        let report = handle.query(&queries[qi], K).unwrap();
+                        got.push((qi, fingerprint(&report)));
+                    }
+                }
+                got
+            }));
+        }
+        for worker in workers {
+            for (qi, fp) in worker.join().unwrap() {
+                assert_eq!(
+                    fp, solo[qi],
+                    "backend {backend:?}, threads {threads}: served query {qi} diverges \
+                     from its solo fingerprint"
+                );
+            }
+        }
+    });
+
+    // The serving counters are interleaving-independent: one miss per
+    // distinct shape, hits for every repeat.
+    let stats = server.stats();
+    let total = (threads * ROUNDS * queries.len()) as u64;
+    let shapes = queries.len() as u64;
+    assert_eq!(stats.queries, total);
+    assert_eq!(stats.plan_cache_misses, shapes);
+    assert_eq!(stats.plan_cache_hits, total - shapes);
+    assert_eq!(server.plan_cache_len(), queries.len());
+}
+
+#[test]
+fn served_fingerprints_match_solo_at_all_thread_counts() {
+    for threads in [1usize, 2, 4] {
+        assert_serving_matches_solo(LocalJoinBackend::default(), threads);
+    }
+}
+
+#[test]
+fn auto_backend_serving_matches_solo_interleaved() {
+    // The pooled Auto path: shared per-(collection, bucket) indexes must
+    // record the same statistics-planned choices as per-query builds.
+    assert_serving_matches_solo(LocalJoinBackend::Auto, 2);
+}
+
+#[test]
+fn rtree_backend_serving_matches_solo_interleaved() {
+    assert_serving_matches_solo(LocalJoinBackend::RTree, 2);
+}
+
+#[test]
+fn repeated_serving_runs_are_bit_identical() {
+    // Two servers over identically prepared datasets serve the same
+    // interleaved workload: every fingerprint and the final serving
+    // counters must repeat exactly.
+    let run = || {
+        let engine = engine(LocalJoinBackend::default());
+        let dataset = engine.prepare(uniform_collections(3, 80, 777)).unwrap();
+        let server = engine.serve(dataset);
+        let mut fps = Vec::new();
+        for q in mixed_queries() {
+            for _ in 0..2 {
+                fps.push(fingerprint(&server.query(&q, K).unwrap()));
+            }
+        }
+        (fps, server.stats())
+    };
+    let (fps_a, stats_a) = run();
+    let (fps_b, stats_b) = run();
+    assert_eq!(fps_a, fps_b);
+    assert_eq!(stats_a, stats_b);
+}
