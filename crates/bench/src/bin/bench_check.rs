@@ -1,128 +1,121 @@
-//! Bench-regression gate: compares a fresh `bench_smoke` JSON report
-//! against the committed baseline and exits non-zero if any tracked
-//! metric regressed by more than the tolerance. No network, no JSON
-//! dependency — both files are the flat `"key": number` format
-//! `bench_smoke` emits, parsed with a tiny scanner.
+//! Bench-regression gate: compares a fresh harness JSON report (or a
+//! concatenation of several — CI gates `bench_smoke` + `bench_serving`
+//! in one call) against the committed baseline and exits non-zero if
+//! any tracked metric regressed. No network, no JSON dependency — the
+//! comparison rules live in [`tkij_bench::gate`], where they are
+//! unit-tested.
 //!
 //! Usage: `bench_check <BENCH_BASELINE.json> <current.json> [tolerance]`
 //!
-//! * every numeric key of the *baseline* is tracked (the current report
-//!   may carry extra, untracked metrics — e.g. machine-dependent absolute
-//!   timings that only exist for the artifact);
-//! * higher is worse by default; keys containing `speedup`, `pruned`,
-//!   or `qps` invert (lower is worse: a speedup, pruning, or throughput
-//!   collapse is the regression);
-//! * a zero baseline gates exactly: any growth from 0 fails (degenerate-
-//!   case counters are tracked to catch leaving the degenerate regime);
-//! * `tolerance` is the allowed relative regression, default `0.25`.
+//! * every tracked key of the *baseline*'s `"metrics"` object gates
+//!   (the current report may carry extra, untracked metrics);
+//! * a tracked key appearing **twice** in either input is a usage error
+//!   (exit 2): first-match lookup would silently shadow one value;
+//! * keys whose baseline and current values are **both integral** — and
+//!   that are not `speedup`/`qps` ratios — are deterministic work
+//!   counters and must match **bit-for-bit in both directions** (a
+//!   downward drift is a stale baseline, not an improvement);
+//! * everything else gates with the relative `tolerance` (default
+//!   `0.25`), inverted for better-higher `speedup`/`pruned`/`qps` keys,
+//!   with any growth from a zero baseline failing;
+//! * `*_ms` timings and structural keys never gate.
+//!
+//! Exit codes: `0` all green, `1` a tracked metric regressed or
+//! mismatched, `2` usage/input error (bad arguments, unreadable or
+//! metric-less files, duplicate keys).
 
 use std::process::ExitCode;
+use tkij_bench::gate::{duplicate_keys, evaluate, is_exact, parse_metrics, Verdict};
 
-/// Extracts every `"key": <number>` pair from a flat JSON text.
-fn parse_metrics(text: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    let bytes = text.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] != b'"' {
-            i += 1;
-            continue;
-        }
-        let Some(close) = text[i + 1..].find('"').map(|o| i + 1 + o) else { break };
-        let key = &text[i + 1..close];
-        let mut j = close + 1;
-        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        if j >= bytes.len() || bytes[j] != b':' {
-            i = close + 1;
-            continue;
-        }
-        j += 1;
-        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        let num_start = j;
-        while j < bytes.len() && matches!(bytes[j], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
-            j += 1;
-        }
-        if let Ok(v) = text[num_start..j].parse::<f64>() {
-            out.push((key.to_string(), v));
-        }
-        i = close + 1;
-    }
-    out
-}
+const USAGE: &str = "usage: bench_check <baseline.json> <current.json> [tolerance]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() < 3 {
-        eprintln!("usage: bench_check <baseline.json> <current.json> [tolerance]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
-    let tolerance: f64 = args.get(3).map_or(0.25, |t| t.parse().expect("numeric tolerance"));
-    let read = |path: &str| -> String {
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    let tolerance: f64 = match args.get(3).map(|t| t.parse()) {
+        None => 0.25,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("bench_check: tolerance `{}` is not a number\n{USAGE}", args[3]);
+            return ExitCode::from(2);
+        }
+    };
+    let mut unreadable = false;
+    let mut read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            unreadable = true;
+            String::new()
+        })
     };
     let baseline = parse_metrics(&read(&args[1]));
     let current = parse_metrics(&read(&args[2]));
+    if unreadable {
+        return ExitCode::from(2);
+    }
     if baseline.is_empty() {
         eprintln!("baseline {} holds no numeric metrics", args[1]);
         return ExitCode::from(2);
     }
+    // A duplicated tracked key means two reports emitted the same
+    // metric: lookups would silently shadow one of the values (and with
+    // it a possible regression), so the gate refuses to run at all.
+    let mut duplicated = false;
+    for (which, path, metrics) in
+        [("baseline", &args[1], &baseline), ("current", &args[2], &current)]
+    {
+        for key in duplicate_keys(metrics) {
+            eprintln!("bench_check: duplicate metric key `{key}` in {which} report {path}");
+            duplicated = true;
+        }
+    }
+    if duplicated {
+        return ExitCode::from(2);
+    }
 
+    let rows = evaluate(&baseline, &current, tolerance);
     let mut failed = false;
     println!(
-        "{:<28} {:>14} {:>14} {:>9}  status   (tolerance {:.0}%)",
+        "{:<28} {:>14} {:>14} {:>9}  status   (tolerance {:.0}%, exact counters bit-for-bit)",
         "metric",
         "baseline",
         "current",
         "delta",
         tolerance * 100.0
     );
-    for (key, base) in &baseline {
-        // Structural keys describe the workload, not a measurement, and
-        // absolute timings (`*_ms`) are machine-dependent: they ride
-        // along in the artifact but only dimensionless ratios and exact
-        // work counters gate CI.
-        if matches!(key.as_str(), "schema") || !key.contains('_') || key.ends_with("_ms") {
-            continue;
-        }
-        let Some((_, cur)) = current.iter().find(|(k, _)| k == key) else {
-            println!("{key:<28} {base:>14.3} {:>14} {:>9}  MISSING", "-", "-");
-            failed = true;
-            continue;
-        };
-        // Regression direction: higher is worse, except speedup ratios,
-        // pruning counters, and throughput (`qps`) metrics, where bigger
-        // is better (a pruning or throughput collapse, not an
-        // improvement, is the regression).
-        let lower_is_worse =
-            key.contains("speedup") || key.contains("pruned") || key.contains("qps");
-        // A zero baseline has no meaningful relative delta: any growth
-        // from 0 is an infinite regression (degenerate-case counters
-        // like cap fallbacks are tracked precisely so that leaving the
-        // degenerate regime fails loudly).
-        let delta = if *base == 0.0 {
-            if *cur == 0.0 {
-                0.0
-            } else {
-                f64::INFINITY
+    for row in &rows {
+        match row.verdict {
+            Verdict::Missing => {
+                println!("{:<28} {:>14.3} {:>14} {:>9}  MISSING", row.key, row.base, "-", "-");
             }
-        } else {
-            (cur - base) / base
-        };
-        let regressed = if lower_is_worse { delta < -tolerance } else { delta > tolerance };
-        println!(
-            "{key:<28} {base:>14.3} {cur:>14.3} {:>8.1}%  {}",
-            delta * 100.0,
-            if regressed { "REGRESSED" } else { "ok" }
-        );
-        failed |= regressed;
+            verdict => {
+                let cur = row.cur.expect("non-missing rows carry a current value");
+                let status = match verdict {
+                    Verdict::Ok if is_exact(&row.key, row.base, cur) => "ok (exact)",
+                    Verdict::Ok => "ok",
+                    Verdict::Regressed => "REGRESSED",
+                    Verdict::ExactMismatch => "EXACT MISMATCH",
+                    Verdict::Missing => unreachable!(),
+                };
+                println!(
+                    "{:<28} {:>14.3} {cur:>14.3} {:>8.1}%  {status}",
+                    row.key,
+                    row.base,
+                    row.delta * 100.0
+                );
+            }
+        }
+        failed |= row.verdict != Verdict::Ok;
     }
     if failed {
-        eprintln!("\nbench_check: tracked metrics regressed beyond {:.0}%", tolerance * 100.0);
+        eprintln!(
+            "\nbench_check: tracked metrics regressed beyond {:.0}% or drifted off an exact \
+             counter",
+            tolerance * 100.0
+        );
         ExitCode::FAILURE
     } else {
         println!("\nbench_check: all tracked metrics within tolerance");

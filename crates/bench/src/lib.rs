@@ -23,6 +23,8 @@
 
 use std::time::{Duration, Instant};
 
+pub mod gate;
+
 /// Scaling knobs read from the environment.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale {

@@ -220,7 +220,20 @@ pub struct TkijConfig {
     /// bit-identical to a fresh one and results/counters never depend on
     /// this switch.
     pub plan_cache: bool,
+    /// Capacity of the serving plan cache, in distinct query shapes
+    /// (default [`PLAN_CACHE_CAPACITY`]; `0` = unbounded, the pre-cap
+    /// behavior). Beyond it the least-recently-used shape is evicted —
+    /// deterministically under a serial access order (the cache stamps
+    /// accesses with a monotone logical clock, never a wall clock or
+    /// thread id) — so adversarial shape churn cannot grow the cache
+    /// without bound. Like [`TkijConfig::plan_cache`] this is a pure
+    /// wall-clock knob: an evicted shape is simply re-planned on its
+    /// next request, bit-identical to the evicted plan.
+    pub plan_cache_capacity: usize,
 }
+
+/// Default bound of the serving plan cache, in distinct query shapes.
+pub const PLAN_CACHE_CAPACITY: usize = 256;
 
 impl Default for TkijConfig {
     fn default() -> Self {
@@ -244,6 +257,7 @@ impl Default for TkijConfig {
             intra_shared_bound: true,
             pruning: true,
             plan_cache: true,
+            plan_cache_capacity: PLAN_CACHE_CAPACITY,
         }
     }
 }
@@ -310,6 +324,13 @@ impl TkijConfig {
         self.plan_cache = false;
         self
     }
+
+    /// Convenience: override the serving plan cache's capacity in
+    /// distinct shapes (`0` = unbounded).
+    pub fn with_plan_cache_capacity(mut self, shapes: usize) -> Self {
+        self.plan_cache_capacity = shapes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +348,7 @@ mod tests {
         assert_eq!(c.probe_chunk_items, crate::localjoin::PROBE_CHUNK_ITEMS);
         assert!(c.intra_shared_bound, "the shared bound is on by default");
         assert!(c.plan_cache, "the serving plan cache is on by default");
+        assert_eq!(c.plan_cache_capacity, PLAN_CACHE_CAPACITY, "bounded by default");
         // Chunked lanes unless the CI env hook forces the scalar
         // reference (keeps this test truthful under that matrix leg).
         assert_eq!(c.sweep_scan, SweepScanKind::from_env().unwrap_or(SweepScanKind::Chunked));
@@ -401,7 +423,8 @@ mod tests {
             .with_probe_chunk_items(64)
             .with_sweep_scan(SweepScanKind::Scalar)
             .without_intra_bound()
-            .without_plan_cache();
+            .without_plan_cache()
+            .with_plan_cache_capacity(16);
         assert_eq!(c.granules, 15);
         assert_eq!(c.strategy.name(), "two-phase");
         assert_eq!(c.distribution.name(), "LPT");
@@ -410,6 +433,7 @@ mod tests {
         assert_eq!(c.sweep_scan, SweepScanKind::Scalar);
         assert!(!c.intra_shared_bound);
         assert!(!c.plan_cache);
+        assert_eq!(c.plan_cache_capacity, 16);
     }
 
     #[test]

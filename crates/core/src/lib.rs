@@ -42,6 +42,7 @@ pub mod joinphase;
 pub mod localjoin;
 pub mod merge;
 pub mod naive;
+pub mod plancache;
 pub mod serving;
 pub mod stats;
 pub mod topbuckets;
@@ -61,6 +62,7 @@ pub use localjoin::{
 };
 pub use merge::run_merge_phase;
 pub use naive::{all_pair_scores, naive_boolean, naive_topk};
-pub use serving::{PlanKey, QueryHandle, ServingStats, TkijServer};
+pub use plancache::PlanCache;
+pub use serving::{LatencySnapshot, PlanKey, QueryHandle, ServingStats, TkijServer};
 pub use stats::{collect_statistics, BucketProfile, DensityMatrix, PreparedDataset};
 pub use topbuckets::{get_top_buckets, run_topbuckets};

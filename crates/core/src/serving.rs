@@ -16,12 +16,17 @@
 //! Two caches make repeated shapes cheap without touching a single
 //! result bit:
 //!
-//! * a **plan cache** keyed by [`PlanKey`] — the canonical query graph,
-//!   `k`, and the server's (strategy, backend, scan kind) — so repeated
-//!   query shapes skip TopBuckets planning and distribution entirely.
-//!   Planning is a pure deterministic function of (dataset statistics,
-//!   query, k, config), so a cached [`QueryPlan`] is bit-identical to a
-//!   freshly computed one.
+//! * a **bounded plan cache** ([`crate::plancache::PlanCache`]) keyed
+//!   by [`PlanKey`] — the canonical query graph, `k`, and the server's
+//!   (strategy, backend, scan kind) — so repeated query shapes skip
+//!   TopBuckets planning and distribution entirely. Planning is a pure
+//!   deterministic function of (dataset statistics, query, k, config),
+//!   so a cached [`QueryPlan`](crate::engine::QueryPlan) is
+//!   bit-identical to a freshly computed
+//!   one. [`TkijConfig::plan_cache_capacity`] bounds the cache against
+//!   adversarial shape churn: beyond it the least-recently-used shape
+//!   is evicted (deterministic LRU on a monotone logical access stamp)
+//!   and simply re-planned when requested again.
 //! * a shared **index pool** ([`IndexPools`]) holding one immutable
 //!   index per (collection, bucket): reducers of every query reuse them
 //!   instead of rebuilding. Pool contents are query-independent (each
@@ -32,20 +37,29 @@
 //! results and work-counter fingerprint are bit-identical whether it
 //! runs solo through [`Tkij::execute`], repeated through a server, or
 //! interleaved with other queries from any number of threads — locked
-//! by `tests/serving_determinism.rs` and the `bench_serving` harness's
-//! in-binary assertions. Only the serving counters themselves
-//! ([`ServingStats`]) are new, and they are deterministic too: with the
-//! cache enabled, misses equal the number of *distinct* served shapes
-//! and hits the remainder, regardless of thread interleaving.
+//! by `tests/serving_determinism.rs`, `tests/serving_shape_churn.rs`,
+//! and the `bench_serving` harness's in-binary assertions. Only the
+//! serving counters themselves ([`ServingStats`]) are new, and they are
+//! deterministic too: with the cache enabled and no evictions, misses
+//! equal the number of *distinct* served shapes and hits the remainder,
+//! regardless of thread interleaving; under churn past the capacity,
+//! every counter is still an exact function of the serial access order.
+//!
+//! The paper frames its whole evaluation (§4) in per-query response
+//! time, so the server also keeps **latency observability**: each
+//! query's wall latency lands in a fixed log-spaced-bucket histogram
+//! ([`LatencySnapshot`] extracts p50/p95/p99). Latency is the one
+//! deliberately *non*-deterministic artifact here — it feeds only
+//! `*_ms` report keys, never a result, counter, or gate.
 
 use crate::config::TkijConfig;
-use crate::engine::{ExecutionReport, QueryPlan, Tkij};
+use crate::engine::{ExecutionReport, Tkij};
 use crate::localjoin::IndexPools;
+use crate::plancache::PlanCache;
 use crate::stats::PreparedDataset;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use tkij_temporal::error::TemporalError;
 use tkij_temporal::query::Query;
 
@@ -102,8 +116,92 @@ pub struct ServingStats {
     /// callers interleave.
     pub plan_cache_hits: u64,
     /// Served queries that computed a fresh plan — one per distinct
-    /// [`PlanKey`] (or every query, with the cache disabled).
+    /// [`PlanKey`] while no shape has been evicted (or every query,
+    /// with the cache disabled); an evicted shape misses again on its
+    /// next request.
     pub plan_cache_misses: u64,
+    /// Shapes evicted from the bounded plan cache (LRU order). Always
+    /// `0` while distinct served shapes stay within
+    /// [`TkijConfig::plan_cache_capacity`]; under churn past the bound
+    /// it is an exact function of the serial access order.
+    pub plan_cache_evictions: u64,
+}
+
+/// How many log-spaced latency buckets the serving histogram keeps:
+/// powers of two from 1 µs up (the last bucket is open-ended), covering
+/// ~1 µs to ~9 minutes in fixed space.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Per-query wall-latency percentiles extracted from the server's
+/// fixed log-spaced-bucket histogram ([`TkijServer::latency`]).
+///
+/// Each percentile is the *upper bound* of the histogram bucket holding
+/// that rank (conservative: never under-reports), in milliseconds.
+/// Latency is wall-clock telemetry — an artifact, never part of the
+/// determinism contract: `bench_serving` emits these as `*_ms` keys,
+/// which the bench gate and the fingerprints ignore by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySnapshot {
+    /// Median per-query latency (bucket upper bound), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency (bucket upper bound), ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency (bucket upper bound), ms.
+    pub p99_ms: f64,
+    /// Queries recorded (equals [`ServingStats::queries`]).
+    pub samples: u64,
+}
+
+/// Fixed log-spaced histogram of per-query wall latencies: bucket `i`
+/// spans `(2^(i−1), 2^i]` µs, the last bucket is open-ended. Plain
+/// `u64` counts behind the one serving mutex that is not on the query
+/// hot path's lock-free counters — recording is one lock + one
+/// increment per served query, negligible against the query itself.
+#[derive(Debug)]
+struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+    samples: u64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram { counts: [0; LATENCY_BUCKETS], samples: 0 }
+    }
+
+    fn record(&mut self, micros: u128) {
+        // First bucket whose upper bound 2^i µs holds `micros` — i.e.
+        // `⌈log₂ micros⌉`; everything past the range lands in the
+        // open-ended last bucket.
+        let ceil_log2 = if micros <= 1 { 0 } else { 128 - (micros - 1).leading_zeros() as usize };
+        self.counts[ceil_log2.min(LATENCY_BUCKETS - 1)] += 1;
+        self.samples += 1;
+    }
+
+    /// Upper bound (ms) of the bucket containing the `q`-quantile rank.
+    fn quantile_ms(&self, q: f64) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.samples as f64).ceil() as u64).clamp(1, self.samples);
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Bucket i's upper bound is 2^i µs.
+                return 2f64.powi(i as i32) / 1e3;
+            }
+        }
+        unreachable!("ranks are clamped to the recorded sample count")
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            p50_ms: self.quantile_ms(0.50),
+            p95_ms: self.quantile_ms(0.95),
+            p99_ms: self.quantile_ms(0.99),
+            samples: self.samples,
+        }
+    }
 }
 
 /// Shared immutable state behind a server and all its handles.
@@ -111,18 +209,23 @@ pub struct ServingStats {
 struct ServerInner {
     engine: Tkij,
     dataset: PreparedDataset,
-    /// Plan cache: each key's slot is created under the map lock, but
-    /// the (expensive) plan is computed inside the slot's `OnceLock` —
+    /// Bounded plan cache: each key's slot is created (and the LRU
+    /// bookkeeping done) under the cache's own lock, but the
+    /// (expensive) plan is computed inside the slot's `OnceLock` —
     /// concurrent first requests for one shape serialize on the slot,
-    /// exactly one computes (the miss), and the map lock is never held
-    /// across planning.
-    plans: Mutex<BTreeMap<PlanKey, Arc<OnceLock<QueryPlan>>>>,
+    /// exactly one computes (the miss), and the cache lock is never
+    /// held across planning.
+    plans: PlanCache,
     pools: IndexPools,
+    /// Per-query wall-latency histogram — pure observability; see
+    /// [`LatencySnapshot`].
+    latency: Mutex<LatencyHistogram>,
     // Monotone event counters. Relaxed ordering suffices for all three:
     // each is independently incremented and only ever read as a
     // point-in-time snapshot (`stats`); no other memory is published
     // through them, and their totals are interleaving-independent by
-    // the OnceLock construction above.
+    // the OnceLock construction above (as long as nothing is evicted;
+    // under eviction churn they follow the serial access order).
     queries: AtomicU64,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
@@ -133,16 +236,11 @@ impl ServerInner {
         self.engine.validate(&self.dataset, query, k)?;
         // Ordering rationale: Relaxed — monotone counter, see field docs.
         self.queries.fetch_add(1, Ordering::Relaxed);
+        // tkij-lint: allow(DET002) -- wall latency feeds only the LatencySnapshot artifact (serving_p50_ms/serving_p95_ms/serving_p99_ms), never a result, counter, or gate
+        let started = std::time::Instant::now();
 
         let report = if self.engine.config.plan_cache {
-            let slot = {
-                let mut plans = self.plans.lock();
-                Arc::clone(
-                    plans
-                        .entry(PlanKey::for_server(&self.engine.config, query, k))
-                        .or_insert_with(|| Arc::new(OnceLock::new())),
-                )
-            };
+            let slot = self.plans.slot(PlanKey::for_server(&self.engine.config, query, k));
             let mut fresh = false;
             let plan = slot.get_or_init(|| {
                 fresh = true;
@@ -164,6 +262,7 @@ impl ServerInner {
             let plan = self.engine.plan_query(&self.dataset, query, k).expect("validated above");
             self.engine.execute_planned_impl(&self.dataset, query, k, &plan, Some(&self.pools))
         };
+        self.latency.lock().record(started.elapsed().as_micros());
         Ok(report)
     }
 
@@ -174,6 +273,7 @@ impl ServerInner {
             queries: self.queries.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            plan_cache_evictions: self.plans.evictions(),
         }
     }
 }
@@ -222,12 +322,14 @@ impl TkijServer {
     /// (also reachable as [`Tkij::serve`]). Caches start empty and fill
     /// lazily as queries arrive.
     pub fn new(engine: Tkij, dataset: PreparedDataset) -> Self {
+        let capacity = engine.config.plan_cache_capacity;
         TkijServer {
             inner: Arc::new(ServerInner {
                 engine,
                 dataset,
-                plans: Mutex::new(BTreeMap::new()),
+                plans: PlanCache::new(capacity),
                 pools: IndexPools::new(),
+                latency: Mutex::new(LatencyHistogram::new()),
                 queries: AtomicU64::new(0),
                 plan_cache_hits: AtomicU64::new(0),
                 plan_cache_misses: AtomicU64::new(0),
@@ -264,9 +366,21 @@ impl TkijServer {
         &self.inner.engine.config
     }
 
-    /// Distinct query shapes currently in the plan cache.
+    /// Distinct query shapes currently in the plan cache — never more
+    /// than [`TkijConfig::plan_cache_capacity`] when that bound is set.
     pub fn plan_cache_len(&self) -> usize {
-        self.inner.plans.lock().len()
+        self.inner.plans.len()
+    }
+
+    /// The plan cache's configured capacity (`0` = unbounded).
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.inner.plans.capacity()
+    }
+
+    /// Per-query wall-latency percentiles recorded so far (p50/p95/p99
+    /// over every query served by this server, all handles included).
+    pub fn latency(&self) -> LatencySnapshot {
+        self.inner.latency.lock().snapshot()
     }
 
     /// Indexes currently in the shared (collection, bucket) pool.
@@ -291,6 +405,11 @@ impl QueryHandle {
     /// [`TkijServer::stats`] through the handle.
     pub fn stats(&self) -> ServingStats {
         self.inner.stats()
+    }
+
+    /// [`TkijServer::latency`] through the handle.
+    pub fn latency(&self) -> LatencySnapshot {
+        self.inner.latency.lock().snapshot()
     }
 }
 
@@ -326,7 +445,12 @@ mod tests {
         }
         assert_eq!(
             srv.stats(),
-            ServingStats { queries: 2, plan_cache_hits: 1, plan_cache_misses: 1 }
+            ServingStats {
+                queries: 2,
+                plan_cache_hits: 1,
+                plan_cache_misses: 1,
+                plan_cache_evictions: 0
+            }
         );
         assert_eq!(srv.plan_cache_len(), 1);
         assert!(srv.index_pool_len() > 0, "the pool filled");
@@ -360,7 +484,12 @@ mod tests {
         assert_eq!(first.results, second.results);
         assert_eq!(
             srv.stats(),
-            ServingStats { queries: 2, plan_cache_hits: 0, plan_cache_misses: 2 }
+            ServingStats {
+                queries: 2,
+                plan_cache_hits: 0,
+                plan_cache_misses: 2,
+                plan_cache_evictions: 0
+            }
         );
         assert_eq!(srv.plan_cache_len(), 0);
     }
@@ -382,6 +511,82 @@ mod tests {
         handle.clone().query(&q, 4).unwrap();
         assert_eq!(srv.stats(), handle.stats());
         assert_eq!(srv.stats().plan_cache_hits, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(3); // bucket 2: (2, 4] µs
+        }
+        for _ in 0..5 {
+            h.record(1000); // bucket 10: (512, 1024] µs
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.samples, 105);
+        assert_eq!(snap.p50_ms, 0.004, "median in the 4 µs bucket");
+        assert_eq!(snap.p95_ms, 0.004, "rank 100 still in the 4 µs bucket");
+        assert_eq!(snap.p99_ms, 1.024, "rank 104 reaches the 1024 µs bucket");
+    }
+
+    #[test]
+    fn histogram_edges() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.snapshot(), LatencySnapshot::default(), "empty snapshot is all zeros");
+        h.record(0); // sub-µs: first bucket
+        h.record(1);
+        h.record(2);
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        h.record(u128::MAX); // far past the range: open-ended last bucket
+        assert_eq!(h.counts[LATENCY_BUCKETS - 1], 1);
+        let single = {
+            let mut h = LatencyHistogram::new();
+            h.record(300);
+            h.snapshot()
+        };
+        // One sample: every percentile is its bucket's upper bound.
+        assert_eq!((single.p50_ms, single.p95_ms, single.p99_ms), (0.512, 0.512, 0.512));
+    }
+
+    #[test]
+    fn server_records_latency_for_every_query() {
+        let srv = server();
+        let q = table1::q_om(PredicateParams::P1);
+        for _ in 0..3 {
+            srv.query(&q, 5).unwrap();
+        }
+        let snap = srv.latency();
+        assert_eq!(snap.samples, srv.stats().queries);
+        assert!(snap.p50_ms > 0.0, "a real query takes measurable time");
+        assert!(snap.p50_ms <= snap.p95_ms && snap.p95_ms <= snap.p99_ms);
+        assert_eq!(srv.handle().latency(), snap, "handles see the shared histogram");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_shapes() {
+        let engine = Tkij::new(
+            TkijConfig::default().with_granules(6).with_reducers(4).with_plan_cache_capacity(2),
+        );
+        let dataset = engine.prepare(uniform_collections(3, 80, 7)).unwrap();
+        let srv = engine.serve(dataset);
+        assert_eq!(srv.plan_cache_capacity(), 2);
+        let q = table1::q_om(PredicateParams::P1);
+        for k in 1..=4 {
+            srv.query(&q, k).unwrap();
+            assert!(srv.plan_cache_len() <= 2);
+        }
+        let stats = srv.stats();
+        assert_eq!(stats.plan_cache_misses, 4, "four distinct shapes");
+        assert_eq!(stats.plan_cache_evictions, 2, "k=1 and k=2 were evicted");
+        // k=4 is the most recent shape: a repeat hits...
+        srv.query(&q, 4).unwrap();
+        assert_eq!(srv.stats().plan_cache_hits, 1);
+        // ... while the evicted k=1 misses again (and re-enters).
+        srv.query(&q, 1).unwrap();
+        let stats = srv.stats();
+        assert_eq!(stats.plan_cache_misses, 5);
+        assert_eq!(stats.plan_cache_evictions, 3);
     }
 
     #[test]

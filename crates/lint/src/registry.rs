@@ -82,6 +82,10 @@ pub struct Registry {
     pub serving_fields: Vec<String>,
     /// Literal keys `bench_serving` pushes (e.g. `serving_qps`).
     pub serving_literal_keys: Vec<String>,
+    /// Scrubbed code lines of the serving determinism battery, used to
+    /// verify every `ServingStats` field is asserted there (the
+    /// serving half of REG110).
+    pub serving_battery_code: Vec<String>,
     /// Per fingerprint file: fields read as `.topbuckets.<f>` /
     /// `.distribution.<f>`, whether `local_stats` is captured, and the
     /// report accessors called.
@@ -259,8 +263,9 @@ fn parse_registry(paths: &RegistryPaths, findings: &mut Vec<Finding>) -> Option<
         }
         match std::fs::read_to_string(&paths.serving_battery) {
             Ok(source) => {
-                reg.fingerprints
-                    .push(parse_fingerprint_use(&paths.serving_battery, &scrub(&source)));
+                let s = scrub(&source);
+                reg.serving_battery_code = s.code_lines.clone();
+                reg.fingerprints.push(parse_fingerprint_use(&paths.serving_battery, &s));
             }
             Err(e) => reg_fail(findings, &paths.serving_battery, format!("cannot read: {e}")),
         }
@@ -452,8 +457,10 @@ fn cross_check(reg: &Registry, paths: &RegistryPaths, findings: &mut Vec<Finding
     }
 
     // REG110: every serving counter must surface as a gated
-    // `serving_<field>` key in bench_serving. A no-op when the
-    // workspace has no serving layer (`serving_fields` is empty).
+    // `serving_<field>` key in bench_serving AND be asserted by the
+    // serving determinism battery (its stats checks are what make the
+    // exact gate trustworthy). A no-op when the workspace has no
+    // serving layer (`serving_fields` is empty).
     for field in &reg.serving_fields {
         let key = format!("serving_{field}");
         if !reg.serving_literal_keys.contains(&key) {
@@ -463,6 +470,17 @@ fn cross_check(reg: &Registry, paths: &RegistryPaths, findings: &mut Vec<Finding
                 format!(
                     "ServingStats counter `{field}` has no `{key}` emission in bench_serving — \
                      emit and gate it, or exclude it with a rationale"
+                ),
+            );
+        }
+        if !reg.serving_battery_code.iter().any(|line| word_positions(line, field).next().is_some())
+        {
+            drift(
+                &paths.serving_battery,
+                "REG110",
+                format!(
+                    "ServingStats counter `{field}` is never asserted by the serving determinism \
+                     battery — a drift in it would go unnoticed"
                 ),
             );
         }

@@ -117,6 +117,34 @@ fn deleting_a_serving_emission_is_caught() {
 }
 
 #[test]
+fn deleting_the_evictions_emission_is_caught() {
+    // The bounded-cache counter is a REG110 sibling of hits/misses:
+    // dropping its emission leaves the baseline gating a key nothing
+    // emits (REG102) and the ServingStats field unemitted (REG110).
+    let root = tampered_workspace("evictions", "crates/bench/src/bin/bench_serving.rs", |s| {
+        drop_lines(s, "\"serving_plan_cache_evictions\"")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG102"), "{codes:?}");
+    assert!(codes.contains("REG110"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dropping_a_serving_counter_battery_assert_is_caught() {
+    // Every ServingStats field must also be asserted by the serving
+    // determinism battery: dropping the evictions assert (while the
+    // emission and gate stay intact) is its own REG110 drift.
+    let root = tampered_workspace("servingassert", "tests/serving_determinism.rs", |s| {
+        drop_lines(s, "stats.plan_cache_evictions")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG110"), "{codes:?}");
+    assert!(!codes.contains("REG102"), "the emission and gate are untouched: {codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn dropping_a_serving_battery_fingerprint_read_is_caught() {
     // The serving battery is a fingerprint surface like the other two:
     // dropping a TopBucketsStats read from it must trip REG104.

@@ -87,9 +87,9 @@ struct ReadmeDoctests;
 pub mod prelude {
     pub use tkij_core::{
         collect_statistics, naive_boolean, naive_topk, select_backend, BucketProfile,
-        DistributionPolicy, ExecutionReport, IntraJoin, LocalJoinBackend, PlanKey, PreparedDataset,
-        QueryHandle, QueryPlan, ServingStats, Strategy, SweepScanKind, Tkij, TkijConfig,
-        TkijServer,
+        DistributionPolicy, ExecutionReport, IntraJoin, LatencySnapshot, LocalJoinBackend, PlanKey,
+        PreparedDataset, QueryHandle, QueryPlan, ServingStats, Strategy, SweepScanKind, Tkij,
+        TkijConfig, TkijServer,
     };
     pub use tkij_datagen::{traffic_collection, uniform_collections, TrafficConfig};
     pub use tkij_mapreduce::ClusterConfig;

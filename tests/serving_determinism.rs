@@ -112,14 +112,22 @@ fn assert_serving_matches_solo(backend: LocalJoinBackend, threads: usize) {
     });
 
     // The serving counters are interleaving-independent: one miss per
-    // distinct shape, hits for every repeat.
+    // distinct shape, hits for every repeat, and no evictions — the
+    // mix sits far below the default plan-cache capacity.
     let stats = server.stats();
     let total = (threads * ROUNDS * queries.len()) as u64;
     let shapes = queries.len() as u64;
     assert_eq!(stats.queries, total);
     assert_eq!(stats.plan_cache_misses, shapes);
     assert_eq!(stats.plan_cache_hits, total - shapes);
+    assert_eq!(stats.plan_cache_evictions, 0);
     assert_eq!(server.plan_cache_len(), queries.len());
+
+    // Latency is artifact-only telemetry, but its sample count is a
+    // counter: every served query must land in the histogram.
+    let latency = server.latency();
+    assert_eq!(latency.samples, total);
+    assert!(latency.p50_ms <= latency.p95_ms && latency.p95_ms <= latency.p99_ms);
 }
 
 #[test]
