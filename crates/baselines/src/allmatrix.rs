@@ -11,7 +11,7 @@
 //! run a Boolean nested-loop join and stop at `k` results.
 
 use crate::common::{shared_partitioning, BaselineReport};
-use tkij_mapreduce::{run_map_reduce, ClusterConfig, SizeOf};
+use tkij_mapreduce::{run_map_reduce, ClusterConfig, CodecError, FrameReader, Record, SizeOf};
 use tkij_temporal::collection::IntervalCollection;
 use tkij_temporal::interval::Interval;
 use tkij_temporal::predicate::PredicateClass;
@@ -24,6 +24,25 @@ struct VRec(u16, Interval);
 impl SizeOf for VRec {
     fn size_bytes(&self) -> usize {
         2 + 24
+    }
+}
+
+impl Record for VRec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.id.encode(out);
+        self.1.start.encode(out);
+        self.1.end.encode(out);
+    }
+
+    fn decode(reader: &mut FrameReader<'_>) -> Result<Self, CodecError> {
+        let v = u16::decode(reader)?;
+        let id = u64::decode(reader)?;
+        let start = i64::decode(reader)?;
+        let end = i64::decode(reader)?;
+        let iv = Interval::new(id, start, end)
+            .map_err(|e| CodecError { detail: format!("invalid interval in VRec: {e}") })?;
+        Ok(VRec(v, iv))
     }
 }
 

@@ -22,7 +22,7 @@
 //!   reducers stop after emitting `k` matches, as the paper imposes.
 
 use crate::common::{granule_span, shared_partitioning, BaselineReport};
-use tkij_mapreduce::{run_map_reduce, ClusterConfig, SizeOf};
+use tkij_mapreduce::{run_map_reduce, ClusterConfig, CodecError, FrameReader, Record, SizeOf};
 use tkij_temporal::collection::IntervalCollection;
 use tkij_temporal::granule::TimePartitioning;
 use tkij_temporal::interval::Interval;
@@ -44,6 +44,59 @@ impl SizeOf for StageRec {
         match self {
             StageRec::Tuple(t) => 1 + t.len() * 24,
             StageRec::Probe(_) => 1 + 24,
+        }
+    }
+}
+
+fn encode_interval(iv: &Interval, out: &mut Vec<u8>) {
+    iv.id.encode(out);
+    iv.start.encode(out);
+    iv.end.encode(out);
+}
+
+fn decode_interval(reader: &mut FrameReader<'_>) -> Result<Interval, CodecError> {
+    let id = u64::decode(reader)?;
+    let start = i64::decode(reader)?;
+    let end = i64::decode(reader)?;
+    Interval::new(id, start, end)
+        .map_err(|e| CodecError { detail: format!("invalid interval in StageRec: {e}") })
+}
+
+impl Record for StageRec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StageRec::Tuple(t) => {
+                out.push(0);
+                for iv in t {
+                    encode_interval(iv, out);
+                }
+            }
+            StageRec::Probe(iv) => {
+                out.push(1);
+                encode_interval(iv, out);
+            }
+        }
+    }
+
+    // A tuple's arity carries no prefix: the record is the frame's whole
+    // value, so the bound-interval count is `remaining / 24`.
+    fn decode(reader: &mut FrameReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(reader)? {
+            0 => {
+                let rem = reader.remaining();
+                if rem % 24 != 0 {
+                    return Err(CodecError {
+                        detail: format!("StageRec tuple payload of {rem} bytes is not intervals"),
+                    });
+                }
+                let mut tuple = Vec::with_capacity(rem / 24);
+                for _ in 0..rem / 24 {
+                    tuple.push(decode_interval(reader)?);
+                }
+                Ok(StageRec::Tuple(tuple))
+            }
+            1 => Ok(StageRec::Probe(decode_interval(reader)?)),
+            tag => Err(CodecError { detail: format!("invalid StageRec tag {tag}") }),
         }
     }
 }

@@ -307,6 +307,60 @@ fn main() {
     push("hot_items_scanned", hot_par.report.items_scanned().to_string());
     push("hot_tuples_scored", hot_par.report.tuples_scored().to_string());
 
+    // Out-of-core leg: the same gated workload on the default backend,
+    // forced through the serialized spill transport at threshold 0 (every
+    // shuffled record lands in its own checksummed segment — the
+    // worst-case spill schedule). Results and work counters must be
+    // bit-identical to the in-memory runs above; the spill counters are
+    // exact and become gated baseline keys, so any codec, segmentation,
+    // or checksum drift fails the bench gate.
+    let spill = {
+        let cfg = SyntheticConfig {
+            size: SIZE,
+            start_range: (0, START_SPAN),
+            length_range: (1, 100),
+            seed: SEED,
+        };
+        let collections: Vec<_> =
+            (0..3u32).map(|i| uniform_collection(CollectionId(i), &cfg)).collect();
+        let engine = Tkij::new(
+            TkijConfig::default()
+                .with_granules(GRANULES)
+                .with_reducers(REDUCERS)
+                .with_local_backend(LocalJoinBackend::Sweep)
+                .with_shuffle_spill_threshold_bytes(0),
+        );
+        let dataset = engine.prepare(collections).expect("prepare spill");
+        measure(&engine, &dataset)
+    };
+    assert_eq!(spill.score_bits(), runs[0].1.score_bits(), "spilling changed the top-k");
+    if let Some(sw) = find(LocalJoinBackend::Sweep) {
+        assert_eq!(spill.report.index_probes(), sw.report.index_probes(), "spill leg probes");
+        assert_eq!(spill.report.items_scanned(), sw.report.items_scanned(), "spill leg scans");
+        assert_eq!(spill.report.tuples_scored(), sw.report.tuples_scored(), "spill leg tuples");
+        assert_eq!(
+            spill.report.join.total_shuffle_records(),
+            sw.report.join.total_shuffle_records(),
+            "serialization must not change shuffle record accounting"
+        );
+        assert_eq!(
+            spill.report.join.total_shuffle_bytes(),
+            sw.report.join.total_shuffle_bytes(),
+            "serialization must not change shuffle byte accounting"
+        );
+    }
+    let spill_stats = spill.report.shuffle_stats();
+    assert!(spill_stats.records_spilled > 0, "the spill leg must actually spill");
+    assert_eq!(
+        spill_stats.records_spilled,
+        spill.report.join.total_shuffle_records() + spill.report.merge.total_shuffle_records(),
+        "threshold 0 serializes every online shuffle record"
+    );
+    push("shuffle_records_spilled", spill_stats.records_spilled.to_string());
+    push("shuffle_spill_segments", spill_stats.spill_segments.to_string());
+    push("shuffle_spill_bytes", spill_stats.spill_bytes.to_string());
+    push("shuffle_checksum", spill_stats.checksum.to_string());
+
     let names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
     println!("{{");
     println!("  \"schema\": 3,");

@@ -291,6 +291,44 @@ mod tests {
     }
 
     #[test]
+    fn shuffle_spill_counters_gate_exactly_both_ways() {
+        // The out-of-core shuffle counters are deterministic work
+        // counters: integral on both sides, no `speedup`/`qps` marker —
+        // so every one of them must fall under the two-sided exact rule.
+        // The checksum is the load-bearing case: a 32-bit CRC fold is
+        // exactly representable as an f64 integer, so any codec or
+        // segmentation drift flips it and fails the gate bit-for-bit.
+        let base = vec![
+            ("shuffle_records_spilled".to_string(), 58_000.0),
+            ("shuffle_spill_segments".to_string(), 58_000.0),
+            ("shuffle_spill_bytes".to_string(), 2_400_000.0),
+            ("shuffle_checksum".to_string(), 3_405_691_582.0),
+        ];
+        for (key, value) in &base {
+            assert!(is_tracked(key), "{key} must gate");
+            assert!(is_exact(key, *value, *value), "{key} must gate exactly");
+            assert!(!lower_is_worse(key), "{key} is not a ratio");
+        }
+        let rows = evaluate(&base, &base, 0.25);
+        assert!(rows.iter().all(|r| r.verdict == Verdict::Ok));
+        // One record more or less, one flipped checksum bit: both
+        // directions are exact mismatches despite the 25% tolerance.
+        for (i, _) in base.iter().enumerate() {
+            for delta in [-1.0, 1.0] {
+                let mut cur = base.clone();
+                cur[i].1 += delta;
+                let rows = evaluate(&base, &cur, 0.25);
+                assert_eq!(
+                    verdict_of(&rows, &base[i].0),
+                    Verdict::ExactMismatch,
+                    "{} drifted by {delta} and must fail",
+                    base[i].0
+                );
+            }
+        }
+    }
+
+    #[test]
     fn non_integral_values_gate_with_tolerance() {
         let base = vec![("dtb_replication_factor".to_string(), 3.819944)];
         let within = vec![("dtb_replication_factor".to_string(), 3.9)];

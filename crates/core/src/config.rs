@@ -230,6 +230,19 @@ pub struct TkijConfig {
     /// wall-clock knob: an evicted shape is simply re-planned on its
     /// next request, bit-identical to the evicted plan.
     pub plan_cache_capacity: usize,
+    /// Out-of-core shuffle switch: `Some(threshold)` routes every engine
+    /// Map-Reduce job (statistics, join, merge — serving included)
+    /// through the serialized shuffle transport, spilling checksummed
+    /// segments whenever a map task's buffered partition exceeds
+    /// `threshold` bytes (`0` = spill every record into its own
+    /// segment). `None` (default) keeps the in-memory transport, unless
+    /// the `TKIJ_SPILL_THRESHOLD` env hook forces serialization
+    /// suite-wide (see [`tkij_mapreduce::ShuffleMode::from_env`]).
+    /// Results, shuffle record/byte counters, and every baseline metric
+    /// are bit-identical across transports — only the
+    /// [`tkij_mapreduce::ShuffleStats`] spill counters change, which the
+    /// spill determinism battery locks.
+    pub shuffle_spill_threshold_bytes: Option<u64>,
 }
 
 /// Default bound of the serving plan cache, in distinct query shapes.
@@ -258,6 +271,7 @@ impl Default for TkijConfig {
             pruning: true,
             plan_cache: true,
             plan_cache_capacity: PLAN_CACHE_CAPACITY,
+            shuffle_spill_threshold_bytes: None,
         }
     }
 }
@@ -331,6 +345,14 @@ impl TkijConfig {
         self.plan_cache_capacity = shapes;
         self
     }
+
+    /// Convenience: route every engine job through the serialized
+    /// out-of-core shuffle, spilling segments past `bytes` buffered
+    /// bytes per (task, partition).
+    pub fn with_shuffle_spill_threshold_bytes(mut self, bytes: u64) -> Self {
+        self.shuffle_spill_threshold_bytes = Some(bytes);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +371,7 @@ mod tests {
         assert!(c.intra_shared_bound, "the shared bound is on by default");
         assert!(c.plan_cache, "the serving plan cache is on by default");
         assert_eq!(c.plan_cache_capacity, PLAN_CACHE_CAPACITY, "bounded by default");
+        assert_eq!(c.shuffle_spill_threshold_bytes, None, "in-memory shuffle by default");
         // Chunked lanes unless the CI env hook forces the scalar
         // reference (keeps this test truthful under that matrix leg).
         assert_eq!(c.sweep_scan, SweepScanKind::from_env().unwrap_or(SweepScanKind::Chunked));
@@ -424,7 +447,8 @@ mod tests {
             .with_sweep_scan(SweepScanKind::Scalar)
             .without_intra_bound()
             .without_plan_cache()
-            .with_plan_cache_capacity(16);
+            .with_plan_cache_capacity(16)
+            .with_shuffle_spill_threshold_bytes(4096);
         assert_eq!(c.granules, 15);
         assert_eq!(c.strategy.name(), "two-phase");
         assert_eq!(c.distribution.name(), "LPT");
@@ -434,6 +458,7 @@ mod tests {
         assert!(!c.intra_shared_bound);
         assert!(!c.plan_cache);
         assert_eq!(c.plan_cache_capacity, 16);
+        assert_eq!(c.shuffle_spill_threshold_bytes, Some(4096));
     }
 
     #[test]

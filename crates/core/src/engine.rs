@@ -10,7 +10,7 @@ use crate::merge::run_merge_phase;
 use crate::stats::{collect_statistics, PreparedDataset};
 use crate::topbuckets::run_topbuckets;
 use std::time::Duration;
-use tkij_mapreduce::{ClusterConfig, JobMetrics};
+use tkij_mapreduce::{ClusterConfig, JobMetrics, ShuffleMode, ShuffleStats, SpillSinkKind};
 use tkij_temporal::collection::IntervalCollection;
 use tkij_temporal::error::TemporalError;
 use tkij_temporal::query::Query;
@@ -65,12 +65,32 @@ impl Tkij {
         }
     }
 
+    /// The cluster shape engine jobs actually run on: the configured
+    /// cluster, with [`TkijConfig::shuffle_spill_threshold_bytes`]
+    /// overriding the shuffle transport when set. Spilled segments live
+    /// in memory — the engine's out-of-core knob exercises the
+    /// serialization/spill/merge machinery without inheriting filesystem
+    /// failure modes; `ClusterConfig::shuffle` can still select
+    /// [`SpillSinkKind::TempDir`] directly.
+    pub fn job_cluster(&self) -> ClusterConfig {
+        match self.config.shuffle_spill_threshold_bytes {
+            None => self.cluster,
+            Some(spill_threshold_bytes) => ClusterConfig {
+                shuffle: ShuffleMode::Serialized {
+                    spill_threshold_bytes,
+                    sink: SpillSinkKind::Memory,
+                },
+                ..self.cluster
+            },
+        }
+    }
+
     /// Offline phase: collects statistics for a dataset (paper §3.2).
     pub fn prepare(
         &self,
         collections: Vec<IntervalCollection>,
     ) -> Result<PreparedDataset, TemporalError> {
-        collect_statistics(collections, self.config.granules, &self.cluster)
+        collect_statistics(collections, self.config.granules, &self.job_cluster())
     }
 
     /// Online phase: evaluates an RTJ query, returning the exact top-k and
@@ -197,6 +217,7 @@ impl Tkij {
         // nested budget inside the join phase). Serving runs pass a
         // shared index pool; results and counters are identical either
         // way.
+        let cluster = self.job_cluster();
         let (outputs, join_metrics) = match pools {
             None => crate::joinphase::run_join_phase_with(
                 dataset,
@@ -204,7 +225,7 @@ impl Tkij {
                 selected,
                 assignment,
                 k,
-                &self.cluster,
+                &cluster,
                 self.config.local_backend,
                 self.config.sweep_scan,
                 None,
@@ -216,7 +237,7 @@ impl Tkij {
                 selected,
                 assignment,
                 k,
-                &self.cluster,
+                &cluster,
                 self.config.local_backend,
                 self.config.sweep_scan,
                 None,
@@ -226,7 +247,7 @@ impl Tkij {
         };
 
         // (e) Merge.
-        let (results, merge_metrics) = run_merge_phase(&outputs, k, &self.cluster);
+        let (results, merge_metrics) = run_merge_phase(&outputs, k, &cluster);
 
         let mut local_stats = Vec::with_capacity(outputs.len());
         let mut reducer_kth_scores = Vec::new();
@@ -411,6 +432,13 @@ impl ExecutionReport {
     /// counter — it legitimately varies with the thread knobs.
     pub fn intra_threads_used(&self) -> u64 {
         self.local_stats.iter().map(|s| s.intra_threads_used).max().unwrap_or(0)
+    }
+
+    /// Combined serialized-shuffle spill accounting of the online jobs
+    /// (join + merge): summed spill counters, xor-folded checksum.
+    /// All-zero when both jobs ran the in-memory transport.
+    pub fn shuffle_stats(&self) -> ShuffleStats {
+        self.join.shuffle.merged(&self.merge.shuffle)
     }
 
     /// Share of the potential result space pruned by TopBuckets (Fig 10c).
@@ -678,6 +706,54 @@ mod tests {
         let q = table1::q_bb(PredicateParams::P1);
         let report = tk.execute(&dataset, &q, 1000).unwrap();
         assert_eq!(report.results.len(), 64, "4³ tuples exist");
+    }
+
+    #[test]
+    fn spill_knob_is_result_and_counter_transparent() {
+        // The out-of-core knob reroutes every job through the serialized
+        // transport: identical results (ids included) and work counters,
+        // with the spill counters lighting up.
+        let q = table1::q_om(PredicateParams::P1);
+        let base = TkijConfig::default().with_granules(5).with_reducers(4);
+        let in_mem = Tkij::with_cluster(base.clone(), ClusterConfig::default());
+        // Pin the reference transport: under the CI env hook the default
+        // cluster may already serialize, which this test must not inherit.
+        let in_mem = Tkij {
+            cluster: ClusterConfig { shuffle: ShuffleMode::InMemory, ..in_mem.cluster },
+            ..in_mem
+        };
+        let spilled =
+            Tkij { config: base.with_shuffle_spill_threshold_bytes(0), cluster: in_mem.cluster };
+        assert_eq!(in_mem.job_cluster().shuffle, ShuffleMode::InMemory);
+        assert_eq!(
+            spilled.job_cluster().shuffle,
+            ShuffleMode::Serialized { spill_threshold_bytes: 0, sink: SpillSinkKind::Memory }
+        );
+        let d1 = in_mem.prepare(uniform_collections(3, 60, 555)).unwrap();
+        let d2 = spilled.prepare(uniform_collections(3, 60, 555)).unwrap();
+        assert_eq!(d1.matrices, d2.matrices, "statistics survive the spill path");
+        assert_eq!(d1.densities, d2.densities);
+        let r1 = in_mem.execute(&d1, &q, 6).unwrap();
+        let r2 = spilled.execute(&d2, &q, 6).unwrap();
+        let a: Vec<_> = r1.results.iter().map(|t| (t.ids.clone(), t.score.to_bits())).collect();
+        let b: Vec<_> = r2.results.iter().map(|t| (t.ids.clone(), t.score.to_bits())).collect();
+        assert_eq!(a, b, "spilling may not change a result bit");
+        assert_eq!(r1.join.shuffle_records, r2.join.shuffle_records);
+        assert_eq!(r1.join.shuffle_bytes, r2.join.shuffle_bytes);
+        assert_eq!(r1.merge.shuffle_records, r2.merge.shuffle_records);
+        assert_eq!(r1.shuffle_stats(), ShuffleStats::default(), "in-memory spills nothing");
+        let spilled_stats = r2.shuffle_stats();
+        assert_eq!(
+            spilled_stats.records_spilled,
+            r2.join.total_shuffle_records() + r2.merge.total_shuffle_records(),
+            "threshold 0 serializes every shuffled record"
+        );
+        assert!(spilled_stats.spill_segments > 0);
+        assert!(spilled_stats.spill_bytes > 0);
+        assert!(
+            d2.stats_metrics.shuffle.records_spilled > 0,
+            "prepare routes through the spill path too"
+        );
     }
 
     #[test]

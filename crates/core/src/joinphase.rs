@@ -11,7 +11,9 @@ use crate::distribute::Assignment;
 use crate::localjoin::{IndexPools, IntraJoin, LocalJoinStats};
 use crate::stats::PreparedDataset;
 use std::collections::BTreeMap;
-use tkij_mapreduce::{run_map_reduce, ClusterConfig, JobMetrics, SizeOf};
+use tkij_mapreduce::{
+    run_map_reduce, ClusterConfig, CodecError, FrameReader, JobMetrics, Record, SizeOf,
+};
 use tkij_temporal::bucket::BucketId;
 use tkij_temporal::interval::Interval;
 use tkij_temporal::query::Query;
@@ -34,6 +36,25 @@ struct VRec(u16, Interval);
 impl SizeOf for VRec {
     fn size_bytes(&self) -> usize {
         2 + 24 // vertex tag + (id, start, end)
+    }
+}
+
+impl Record for VRec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.id.encode(out);
+        self.1.start.encode(out);
+        self.1.end.encode(out);
+    }
+
+    fn decode(reader: &mut FrameReader<'_>) -> Result<Self, CodecError> {
+        let v = u16::decode(reader)?;
+        let id = u64::decode(reader)?;
+        let start = i64::decode(reader)?;
+        let end = i64::decode(reader)?;
+        let iv = Interval::new(id, start, end)
+            .map_err(|e| CodecError { detail: format!("invalid interval in VRec: {e}") })?;
+        Ok(VRec(v, iv))
     }
 }
 

@@ -66,3 +66,6 @@ pub use plancache::PlanCache;
 pub use serving::{LatencySnapshot, PlanKey, QueryHandle, ServingStats, TkijServer};
 pub use stats::{collect_statistics, BucketProfile, DensityMatrix, PreparedDataset};
 pub use topbuckets::{get_top_buckets, run_topbuckets};
+// The out-of-core shuffle vocabulary callers need to read
+// `ExecutionReport::shuffle_stats` or select a transport explicitly.
+pub use tkij_mapreduce::{ShuffleMode, ShuffleStats, SpillSinkKind, SPILL_THRESHOLD_ENV};

@@ -2,7 +2,9 @@
 //! per-reducer local top-k lists into the global top-k.
 
 use crate::joinphase::ReducerOutput;
-use tkij_mapreduce::{run_map_reduce, ClusterConfig, JobMetrics, SizeOf};
+use tkij_mapreduce::{
+    run_map_reduce, ClusterConfig, CodecError, FrameReader, JobMetrics, Record, SizeOf,
+};
 use tkij_temporal::result::{MatchTuple, TopK};
 
 /// Shuffle record wrapping one local result tuple.
@@ -11,6 +13,36 @@ struct TupleMsg(MatchTuple);
 impl SizeOf for TupleMsg {
     fn size_bytes(&self) -> usize {
         8 * self.0.ids.len() + 8 // ids + score
+    }
+}
+
+impl Record for TupleMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for id in &self.0.ids {
+            id.encode(out);
+        }
+        self.0.score.encode(out);
+    }
+
+    // The id count carries no prefix: a tuple is the frame's whole value,
+    // so the arity is `(remaining − score) / 8`.
+    fn decode(reader: &mut FrameReader<'_>) -> Result<Self, CodecError> {
+        let rem = reader.remaining();
+        if rem < 8 || rem % 8 != 0 {
+            return Err(CodecError {
+                detail: format!("TupleMsg payload of {rem} bytes is not ids + score"),
+            });
+        }
+        let arity = rem / 8 - 1;
+        let mut ids = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            ids.push(u64::decode(reader)?);
+        }
+        let score = f64::decode(reader)?;
+        if !score.is_finite() {
+            return Err(CodecError { detail: format!("non-finite tuple score {score}") });
+        }
+        Ok(TupleMsg(MatchTuple::new(ids, score)))
     }
 }
 

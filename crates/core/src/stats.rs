@@ -8,7 +8,9 @@
 //! same unit process to inserted/deleted intervals
 //! ([`PreparedDataset::insert`] / [`PreparedDataset::remove`]).
 
-use tkij_mapreduce::{run_map_reduce, ClusterConfig, JobMetrics, SizeOf};
+use tkij_mapreduce::{
+    run_map_reduce, ClusterConfig, CodecError, FrameReader, JobMetrics, Record, SizeOf,
+};
 use tkij_temporal::bucket::{BucketId, BucketMatrix};
 use tkij_temporal::collection::IntervalCollection;
 use tkij_temporal::error::TemporalError;
@@ -214,9 +216,70 @@ struct MatrixMsg(BucketMatrix, DensityMatrix);
 
 impl SizeOf for MatrixMsg {
     fn size_bytes(&self) -> usize {
-        // g × g counters, plus the 3 density lanes, plus the headers.
+        // Exactly the frame encoding below: the 20-byte partitioning
+        // header plus 4 row-major g × g lanes of 8-byte words.
         let g = self.0.g() as usize;
-        g * g * 8 * 4 + 48
+        20 + g * g * 8 * 4
+    }
+}
+
+impl Record for MatrixMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let part = self.0.partitioning();
+        debug_assert_eq!(part, self.1.partitioning, "count and density lanes share one grid");
+        part.origin.encode(out);
+        part.width.encode(out);
+        part.count.encode(out);
+        for &c in self.0.counts() {
+            c.encode(out);
+        }
+        for &d in &self.1.durations {
+            d.encode(out);
+        }
+        for &s in &self.1.min_start {
+            s.encode(out);
+        }
+        for &e in &self.1.max_end {
+            e.encode(out);
+        }
+    }
+
+    fn decode(reader: &mut FrameReader<'_>) -> Result<Self, CodecError> {
+        let origin = i64::decode(reader)?;
+        let width = i64::decode(reader)?;
+        let count = u32::decode(reader)?;
+        if width <= 0 || count == 0 {
+            return Err(CodecError {
+                detail: format!("invalid partitioning: width {width}, count {count}"),
+            });
+        }
+        // Validate the lane footprint against the frame before allocating
+        // anything sized by the (attacker-controllable) granule count.
+        let g2 = (count as usize)
+            .checked_mul(count as usize)
+            .filter(|g2| g2.checked_mul(8 * 4) == Some(reader.remaining()))
+            .ok_or_else(|| CodecError {
+                detail: format!(
+                    "matrix lanes for g = {count} do not fit a {}-byte frame remainder",
+                    reader.remaining()
+                ),
+            })?;
+        let partitioning = TimePartitioning { origin, width, count };
+        let mut counts = Vec::with_capacity(g2);
+        for _ in 0..g2 {
+            counts.push(u64::decode(reader)?);
+        }
+        let mut density = DensityMatrix::new(partitioning);
+        for slot in density.durations.iter_mut() {
+            *slot = u64::decode(reader)?;
+        }
+        for slot in density.min_start.iter_mut() {
+            *slot = i64::decode(reader)?;
+        }
+        for slot in density.max_end.iter_mut() {
+            *slot = i64::decode(reader)?;
+        }
+        Ok(MatrixMsg(BucketMatrix::from_counts(partitioning, counts), density))
     }
 }
 

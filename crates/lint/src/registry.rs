@@ -21,6 +21,14 @@
 //! but as soon as one piece exists all three are required and
 //! cross-checked (REG110).
 //!
+//! The out-of-core shuffle (`ShuffleStats` in `crates/mapreduce/src`,
+//! `bench_smoke`'s spill leg, the spill-forced battery
+//! `tests/shuffle_spill_determinism.rs`) is an *optional sixth surface*
+//! under the same all-or-nothing contract: once the struct or the
+//! battery exists, every `ShuffleStats` counter must be emitted as a
+//! gated `shuffle_<field>` key and read (`.shuffle.<field>`) into every
+//! determinism fingerprint, the spill battery included (REG111).
+//!
 //! "Added a counter but forgot to gate or fingerprint it" used to be a
 //! reviewer catch; this module makes it a CI failure: any counter that
 //! exists in one place but not the others is reported, modulo the
@@ -86,9 +94,17 @@ pub struct Registry {
     /// verify every `ServingStats` field is asserted there (the
     /// serving half of REG110).
     pub serving_battery_code: Vec<String>,
+    /// `ShuffleStats` fields — empty when the workspace has no
+    /// out-of-core shuffle (the optional sixth surface).
+    pub shuffle_fields: Vec<String>,
+    /// The spill battery's fingerprint reads — `None` without the
+    /// shuffle surface. Kept out of [`Registry::fingerprints`] because
+    /// the spill battery deliberately fingerprints only the spill and
+    /// work-counter lanes, not TopBuckets/distribution telemetry.
+    pub shuffle_battery_fp: Option<FingerprintUse>,
     /// Per fingerprint file: fields read as `.topbuckets.<f>` /
-    /// `.distribution.<f>`, whether `local_stats` is captured, and the
-    /// report accessors called.
+    /// `.distribution.<f>` / `.shuffle.<f>`, whether `local_stats` is
+    /// captured, and the report accessors called.
     pub fingerprints: Vec<FingerprintUse>,
 }
 
@@ -97,6 +113,7 @@ pub struct FingerprintUse {
     pub file: PathBuf,
     pub topbuckets_fields: BTreeSet<String>,
     pub distribution_fields: BTreeSet<String>,
+    pub shuffle_fields: BTreeSet<String>,
     pub captures_local_stats: bool,
 }
 
@@ -114,6 +131,14 @@ pub struct RegistryPaths {
     /// The serving determinism battery — required exactly when the
     /// serving surface exists; parsed as a fingerprint file.
     pub serving_battery: PathBuf,
+    /// The mapreduce crate's sources, where `ShuffleStats` lives —
+    /// part of the optional out-of-core shuffle surface; the directory
+    /// may be absent (the mini-fixture has no mapreduce crate).
+    pub mapreduce_src_dir: PathBuf,
+    /// The spill-forced shuffle determinism battery — required exactly
+    /// when the shuffle surface exists; parsed for its `.shuffle.`
+    /// fingerprint reads.
+    pub shuffle_battery: PathBuf,
 }
 
 impl RegistryPaths {
@@ -129,6 +154,8 @@ impl RegistryPaths {
                 root.join("tests/intra_parallel_determinism.rs"),
             ],
             serving_battery: root.join("tests/serving_determinism.rs"),
+            mapreduce_src_dir: root.join("crates/mapreduce/src"),
+            shuffle_battery: root.join("tests/shuffle_spill_determinism.rs"),
         }
     }
 }
@@ -271,6 +298,45 @@ fn parse_registry(paths: &RegistryPaths, findings: &mut Vec<Finding>) -> Option<
         }
     }
 
+    // --- 6. the out-of-core shuffle surface (optional) ---------------
+    // Same all-or-nothing contract as serving: a workspace without a
+    // serialized shuffle has no `ShuffleStats` struct and no spill
+    // battery and skips these checks; as soon as either exists, the
+    // struct, the battery, the `shuffle_*` bench emission and the
+    // `.shuffle.<field>` fingerprint reads are all required (REG111).
+    if let Ok(entries) = std::fs::read_dir(&paths.mapreduce_src_dir) {
+        let mut files: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect();
+        files.sort();
+        for file in &files {
+            let Ok(source) = std::fs::read_to_string(file) else { continue };
+            if let Some(fields) = parse_struct_fields(&scrub(&source), "ShuffleStats") {
+                reg.shuffle_fields = fields;
+            }
+        }
+    }
+    if !reg.shuffle_fields.is_empty() || paths.shuffle_battery.exists() {
+        if reg.shuffle_fields.is_empty() {
+            reg_fail(
+                findings,
+                &paths.mapreduce_src_dir,
+                "a spill determinism battery exists but no ShuffleStats struct parses from any \
+                 file in this directory"
+                    .into(),
+            );
+        }
+        match std::fs::read_to_string(&paths.shuffle_battery) {
+            Ok(source) => {
+                reg.shuffle_battery_fp =
+                    Some(parse_fingerprint_use(&paths.shuffle_battery, &scrub(&source)));
+            }
+            Err(e) => reg_fail(findings, &paths.shuffle_battery, format!("cannot read: {e}")),
+        }
+    }
+
     if findings.is_empty() {
         Some(reg)
     } else {
@@ -284,6 +350,7 @@ fn parse_fingerprint_use(file: &Path, s: &Scrubbed) -> FingerprintUse {
         file: file.to_path_buf(),
         topbuckets_fields: parse_member_reads(s, "topbuckets"),
         distribution_fields: parse_member_reads(s, "distribution"),
+        shuffle_fields: parse_member_reads(s, "shuffle"),
         captures_local_stats: s
             .code_lines
             .iter()
@@ -483,6 +550,40 @@ fn cross_check(reg: &Registry, paths: &RegistryPaths, findings: &mut Vec<Finding
                      battery — a drift in it would go unnoticed"
                 ),
             );
+        }
+    }
+
+    // REG111: every ShuffleStats spill counter must surface as a gated
+    // `shuffle_<field>` literal key in bench_smoke's spill leg AND be
+    // read (`.shuffle.<field>`) into every determinism fingerprint,
+    // the spill battery included — the batteries' threshold × thread
+    // grids are what prove these counters deterministic enough for the
+    // exact gate. A no-op when the workspace has no out-of-core
+    // shuffle surface (`shuffle_fields` is empty).
+    for field in &reg.shuffle_fields {
+        let key = format!("shuffle_{field}");
+        if !reg.bench_literal_keys.contains(&key) {
+            drift(
+                &paths.bench_smoke,
+                "REG111",
+                format!(
+                    "ShuffleStats counter `{field}` has no `{key}` emission in bench_smoke's \
+                     spill leg — emit and gate it, or exclude it with a rationale"
+                ),
+            );
+        }
+        for fp in reg.fingerprints.iter().chain(reg.shuffle_battery_fp.as_ref()) {
+            if !fp.shuffle_fields.contains(field) {
+                drift(
+                    &fp.file,
+                    "REG111",
+                    format!(
+                        "ShuffleStats counter `{field}` is not read (`.shuffle.{field}`) into \
+                         this file's determinism fingerprint — a spill-accounting drift would \
+                         go unnoticed"
+                    ),
+                );
+            }
         }
     }
 }

@@ -13,7 +13,7 @@ fn tampered_workspace(tag: &str, tamper_rel: &str, tamper: impl Fn(&str) -> Stri
     let live = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
     let root = std::env::temp_dir().join(format!("tkij-lint-tamper-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
-    for dir in ["crates/core/src", "crates/bench/src/bin", "tests"] {
+    for dir in ["crates/core/src", "crates/bench/src/bin", "crates/mapreduce/src", "tests"] {
         std::fs::create_dir_all(root.join(dir)).expect("scratch dirs");
     }
     let mut surfaces = vec![
@@ -23,12 +23,14 @@ fn tampered_workspace(tag: &str, tamper_rel: &str, tamper: impl Fn(&str) -> Stri
         "tests/thread_determinism.rs".to_string(),
         "tests/intra_parallel_determinism.rs".to_string(),
         "tests/serving_determinism.rs".to_string(),
+        "tests/shuffle_spill_determinism.rs".to_string(),
     ];
-    for entry in std::fs::read_dir(live.join("crates/core/src")).expect("core src") {
-        let path = entry.expect("entry").path();
-        if path.extension().is_some_and(|e| e == "rs") {
-            surfaces
-                .push(format!("crates/core/src/{}", path.file_name().unwrap().to_str().unwrap()));
+    for src_dir in ["crates/core/src", "crates/mapreduce/src"] {
+        for entry in std::fs::read_dir(live.join(src_dir)).expect("crate src") {
+            let path = entry.expect("entry").path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                surfaces.push(format!("{src_dir}/{}", path.file_name().unwrap().to_str().unwrap()));
+            }
         }
     }
     for rel in &surfaces {
@@ -153,6 +155,49 @@ fn dropping_a_serving_battery_fingerprint_read_is_caught() {
     });
     let codes = codes_at(&root);
     assert!(codes.contains("REG104"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deleting_a_spill_counter_emission_is_caught() {
+    // The out-of-core shuffle drill: remove the spilled-record counter
+    // emission from a copy of bench_smoke's spill leg. The baseline
+    // gates a key nothing emits (REG102) and the ShuffleStats counter
+    // lost its emission (REG111).
+    let root = tampered_workspace("spill", "crates/bench/src/bin/bench_smoke.rs", |s| {
+        drop_lines(s, "\"shuffle_records_spilled\"")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG102"), "{codes:?}");
+    assert!(codes.contains("REG111"), "{codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dropping_a_shuffle_checksum_fingerprint_read_is_caught() {
+    // Every determinism battery must read the spill checksum into its
+    // fingerprint: dropping the `shuffle_fp` helper's read line (the
+    // one line containing `.shuffle.checksum`) while the emission and
+    // the gate stay intact is its own REG111 drift.
+    let root = tampered_workspace("spillfp", "tests/thread_determinism.rs", |s| {
+        drop_lines(s, ".shuffle.checksum")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG111"), "{codes:?}");
+    assert!(!codes.contains("REG102"), "the emission and gate are untouched: {codes:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dropping_the_spill_battery_shuffle_reads_is_caught() {
+    // The spill battery itself is a REG111 fingerprint surface: a copy
+    // that renames its `shuffle` captures reads no `.shuffle.<field>`
+    // member at all and must drift on every ShuffleStats counter.
+    let root = tampered_workspace("spillbattery", "tests/shuffle_spill_determinism.rs", |s| {
+        s.replace(".shuffle.", ".shuffle_gone.")
+    });
+    let codes = codes_at(&root);
+    assert!(codes.contains("REG111"), "{codes:?}");
     let _ = std::fs::remove_dir_all(&root);
 }
 

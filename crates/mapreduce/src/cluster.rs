@@ -1,6 +1,9 @@
 //! Cluster shape: slots used for simulated scheduling and thread pool
 //! sizing, plus the nested thread budget shared by the two parallelism
-//! layers (task-level `worker_threads` × intra-join `intra_join_threads`).
+//! layers (task-level `worker_threads` × intra-join `intra_join_threads`)
+//! and the shuffle-transport selection ([`ShuffleMode`]).
+
+use crate::shuffle::ShuffleMode;
 
 /// Describes the simulated cluster a job runs on.
 ///
@@ -38,11 +41,26 @@ pub struct ClusterConfig {
     /// thread. Outputs and work counters are identical either way: the
     /// chunk schedule is fixed, threads only execute it.
     pub intra_join_threads: usize,
+    /// Which shuffle transport jobs use (see [`ShuffleMode`]). The
+    /// serialized spill path produces bit-identical outputs and
+    /// record/byte accounting to the in-memory default; only the
+    /// [`ShuffleStats`](crate::ShuffleStats) spill counters differ.
+    pub shuffle: ShuffleMode,
 }
 
 impl Default for ClusterConfig {
+    /// Paper platform defaults — with the shuffle transport overridable
+    /// through [`SPILL_THRESHOLD_ENV`](crate::shuffle::SPILL_THRESHOLD_ENV),
+    /// which is how CI forces entire determinism batteries through the
+    /// spill path without touching their configs.
     fn default() -> Self {
-        ClusterConfig { map_slots: 6, reduce_slots: 24, worker_threads: 0, intra_join_threads: 0 }
+        ClusterConfig {
+            map_slots: 6,
+            reduce_slots: 24,
+            worker_threads: 0,
+            intra_join_threads: 0,
+            shuffle: ShuffleMode::from_env().unwrap_or(ShuffleMode::InMemory),
+        }
     }
 }
 
@@ -130,6 +148,9 @@ mod tests {
         assert_eq!(c.worker_threads, 0);
         assert_eq!(c.intra_join_threads, 0, "intra-join parallelism is opt-in");
         assert_eq!(c.thread_budget(), 1);
+        // The shuffle default honors the CI spill-forcing env hook, like
+        // TkijConfig::default() honors TKIJ_SWEEP_SCAN.
+        assert_eq!(c.shuffle, ShuffleMode::from_env().unwrap_or(ShuffleMode::InMemory));
     }
 
     #[test]

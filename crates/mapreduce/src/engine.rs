@@ -2,27 +2,40 @@
 //!
 //! One job = per-split mappers emitting `(K, V)` records through a
 //! map-side [`Emitter`] (which partitions immediately, like Hadoop's
-//! map-side partitioner), a shuffle stage that gathers, counts, sorts and
-//! groups each partition, and one reduce task per partition. Outputs are
-//! concatenated in partition order, making the job deterministic for any
-//! thread count.
+//! map-side partitioner), a shuffle stage that moves, counts, sorts and
+//! groups each partition through a [`ShuffleTransport`], and one reduce
+//! task per partition. Outputs are concatenated in partition order,
+//! making the job deterministic for any thread count — and for either
+//! transport: the serialized spill path reproduces the in-memory
+//! gather's grouped partitions bit for bit.
 
 use crate::cluster::ClusterConfig;
 use crate::metrics::JobMetrics;
-use crate::sizeof::SizeOf;
+use crate::shuffle::{
+    InMemoryTransport, Record, SerializedTransport, ShuffleError, ShuffleMode, ShuffleOutput,
+    ShuffleTransport, TaskSink,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-/// Map-side collector: routes each emitted record to its partition.
+/// Map-side collector: routes each emitted record to its partition's
+/// sink. The sink is held as a trait object so one mapper closure
+/// serves every [`ShuffleTransport`].
 pub struct Emitter<'p, K, V> {
     partitioner: &'p (dyn Fn(&K) -> usize + Sync),
-    buffers: Vec<Vec<(K, V)>>,
+    sink: &'p mut dyn TaskSink<K, V>,
+    num_partitions: usize,
+    emitted: usize,
 }
 
 impl<'p, K, V> Emitter<'p, K, V> {
-    fn new(num_partitions: usize, partitioner: &'p (dyn Fn(&K) -> usize + Sync)) -> Self {
-        Emitter { partitioner, buffers: (0..num_partitions).map(|_| Vec::new()).collect() }
+    fn new(
+        num_partitions: usize,
+        partitioner: &'p (dyn Fn(&K) -> usize + Sync),
+        sink: &'p mut dyn TaskSink<K, V>,
+    ) -> Self {
+        Emitter { partitioner, sink, num_partitions, emitted: 0 }
     }
 
     /// Emits one record; the partitioner must return an index `<`
@@ -38,16 +51,17 @@ impl<'p, K, V> Emitter<'p, K, V> {
     pub fn emit(&mut self, key: K, value: V) {
         let p = (self.partitioner)(&key);
         assert!(
-            p < self.buffers.len(),
+            p < self.num_partitions,
             "partitioner returned partition {p} for a job with {} partitions",
-            self.buffers.len()
+            self.num_partitions
         );
-        self.buffers[p].push((key, value));
+        self.sink.accept(p, key, value);
+        self.emitted += 1;
     }
 
     /// Records emitted so far (all partitions).
     pub fn emitted(&self) -> usize {
-        self.buffers.iter().map(Vec::len).sum()
+        self.emitted
     }
 }
 
@@ -83,7 +97,11 @@ where
     results.into_inner().into_iter().map(|o| o.expect("every task ran")).collect()
 }
 
-/// Executes one Map-Reduce job.
+/// A reduce partition's grouped input, consumed exactly once by its task.
+type GroupedPartition<K, V> = Mutex<Option<Vec<(K, Vec<V>)>>>;
+
+/// Executes one Map-Reduce job with the transport selected by
+/// `cfg.shuffle`.
 ///
 /// * `inputs` are split into `num_map_tasks` contiguous chunks; `mapper`
 ///   is called once per chunk (stateful per-split mapping, which is what
@@ -93,15 +111,14 @@ where
 ///   sorted ascending, and every partition is reduced (possibly empty),
 ///   mirroring Hadoop semantics.
 ///
-/// Timed output of one map task: its duration plus one emit buffer per
-/// reduce partition.
-type MapTaskOutput<K, V> = (Duration, Vec<Vec<(K, V)>>);
-
-/// A reduce partition's grouped input, consumed exactly once by its task.
-type GroupedPartition<K, V> = Mutex<Option<Vec<(K, Vec<V>)>>>;
-
 /// Returns the concatenated reducer outputs (partition order) and the
 /// job's [`JobMetrics`].
+///
+/// # Panics
+///
+/// Panics if the serialized transport fails (spill-store I/O or a
+/// corrupted segment); use [`try_run_map_reduce`] to handle those as
+/// structured [`ShuffleError`]s. The in-memory default cannot fail.
 #[allow(clippy::too_many_arguments)]
 pub fn run_map_reduce<I, K, V, R, M, P, F>(
     inputs: &[I],
@@ -114,12 +131,90 @@ pub fn run_map_reduce<I, K, V, R, M, P, F>(
 ) -> (Vec<R>, JobMetrics)
 where
     I: Sync,
-    K: Ord + Send + SizeOf,
-    V: Send + SizeOf,
+    K: Ord + Send + Record,
+    V: Send + Record,
     R: Send,
     M: Fn(usize, &[I], &mut Emitter<'_, K, V>) + Sync,
     P: Fn(&K) -> usize + Sync,
     F: Fn(usize, Vec<(K, Vec<V>)>) -> Vec<R> + Sync,
+{
+    try_run_map_reduce(inputs, num_map_tasks, num_partitions, mapper, partitioner, reducer, cfg)
+        .unwrap_or_else(|e| panic!("shuffle transport failed: {e}"))
+}
+
+/// The fallible form of [`run_map_reduce`]: serialized-transport
+/// failures (spill I/O, corrupted or truncated segments, checksum
+/// mismatches) surface as [`ShuffleError`] instead of panicking.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_map_reduce<I, K, V, R, M, P, F>(
+    inputs: &[I],
+    num_map_tasks: usize,
+    num_partitions: usize,
+    mapper: M,
+    partitioner: P,
+    reducer: F,
+    cfg: &ClusterConfig,
+) -> Result<(Vec<R>, JobMetrics), ShuffleError>
+where
+    I: Sync,
+    K: Ord + Send + Record,
+    V: Send + Record,
+    R: Send,
+    M: Fn(usize, &[I], &mut Emitter<'_, K, V>) + Sync,
+    P: Fn(&K) -> usize + Sync,
+    F: Fn(usize, Vec<(K, Vec<V>)>) -> Vec<R> + Sync,
+{
+    match cfg.shuffle {
+        ShuffleMode::InMemory => run_map_reduce_with(
+            &InMemoryTransport,
+            inputs,
+            num_map_tasks,
+            num_partitions,
+            mapper,
+            partitioner,
+            reducer,
+            cfg,
+        ),
+        ShuffleMode::Serialized { spill_threshold_bytes, sink } => {
+            let transport = SerializedTransport::new(spill_threshold_bytes, sink)?;
+            run_map_reduce_with(
+                &transport,
+                inputs,
+                num_map_tasks,
+                num_partitions,
+                mapper,
+                partitioner,
+                reducer,
+                cfg,
+            )
+        }
+    }
+}
+
+/// Executes one Map-Reduce job through an explicit [`ShuffleTransport`]
+/// — the injection point the spill batteries and custom transports use;
+/// [`run_map_reduce`] is this with the transport picked from
+/// `cfg.shuffle`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_map_reduce_with<I, K, V, R, M, P, F, T>(
+    transport: &T,
+    inputs: &[I],
+    num_map_tasks: usize,
+    num_partitions: usize,
+    mapper: M,
+    partitioner: P,
+    reducer: F,
+    cfg: &ClusterConfig,
+) -> Result<(Vec<R>, JobMetrics), ShuffleError>
+where
+    I: Sync,
+    K: Ord + Send,
+    V: Send,
+    R: Send,
+    M: Fn(usize, &[I], &mut Emitter<'_, K, V>) + Sync,
+    P: Fn(&K) -> usize + Sync,
+    F: Fn(usize, Vec<(K, Vec<V>)>) -> Vec<R> + Sync,
+    T: ShuffleTransport<K, V>,
 {
     // tkij-lint: allow(DET002) -- feeds only JobMetrics::wall, a timing artifact
     let job_start = Instant::now();
@@ -127,52 +222,27 @@ where
     let chunk = inputs.len().div_ceil(num_map_tasks).max(1);
 
     // ---- Map wave -------------------------------------------------------
-    let map_results: Vec<MapTaskOutput<K, V>> = run_tasks(num_map_tasks, cfg.worker_threads, |t| {
+    let map_results: Vec<(Duration, T::Sink)> = run_tasks(num_map_tasks, cfg.worker_threads, |t| {
         let lo = (t * chunk).min(inputs.len());
         let hi = ((t + 1) * chunk).min(inputs.len());
-        let mut em = Emitter::new(num_partitions, &partitioner);
+        let mut sink = transport.task_sink(t, num_partitions);
+        let mut em = Emitter::new(num_partitions, &partitioner, &mut sink);
         // tkij-lint: allow(DET002) -- feeds only JobMetrics::map_durations, timing artifacts
         let started = Instant::now();
         mapper(t, &inputs[lo..hi], &mut em);
-        (started.elapsed(), em.buffers)
+        (started.elapsed(), sink)
     });
 
     let mut map_durations = Vec::with_capacity(num_map_tasks);
-    let mut map_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(num_map_tasks);
-    for (d, bufs) in map_results {
+    let mut sinks = Vec::with_capacity(num_map_tasks);
+    for (d, sink) in map_results {
         map_durations.push(d);
-        map_outputs.push(bufs);
+        sinks.push(sink);
     }
 
-    // ---- Shuffle: gather, account, sort, group --------------------------
-    let mut shuffle_records = vec![0u64; num_partitions];
-    let mut shuffle_bytes = vec![0u64; num_partitions];
-    let mut partitions: Vec<Vec<(K, V)>> = (0..num_partitions).map(|_| Vec::new()).collect();
-    for bufs in map_outputs {
-        for (p, buf) in bufs.into_iter().enumerate() {
-            for (k, v) in buf {
-                shuffle_records[p] += 1;
-                shuffle_bytes[p] += (k.size_bytes() + v.size_bytes()) as u64;
-                partitions[p].push((k, v));
-            }
-        }
-    }
-    let grouped: Vec<Vec<(K, Vec<V>)>> = partitions
-        .into_iter()
-        .map(|mut records| {
-            // Stable sort keeps map-task emission order within equal keys,
-            // which is itself deterministic (task-index order).
-            records.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut groups: Vec<(K, Vec<V>)> = Vec::new();
-            for (k, v) in records {
-                match groups.last_mut() {
-                    Some((gk, vs)) if *gk == k => vs.push(v),
-                    _ => groups.push((k, vec![v])),
-                }
-            }
-            groups
-        })
-        .collect();
+    // ---- Shuffle: transport-specific move, account, sort, group ---------
+    let ShuffleOutput { grouped, shuffle_records, shuffle_bytes, stats } =
+        transport.gather(sinks, num_partitions)?;
 
     // ---- Reduce wave ----------------------------------------------------
     let grouped_slots: Vec<GroupedPartition<K, V>> =
@@ -198,20 +268,26 @@ where
         reduce_durations,
         shuffle_records,
         shuffle_bytes,
+        shuffle: stats,
         wall: job_start.elapsed(),
     };
-    (outputs, metrics)
+    Ok((outputs, metrics))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shuffle::{MemorySink, ShuffleStats, SpillSinkKind};
 
     /// Word-count over small documents, the canonical smoke test.
     fn word_count(threads: usize) -> (Vec<(String, u64)>, JobMetrics) {
+        word_count_mode(threads, ShuffleMode::InMemory)
+    }
+
+    fn word_count_mode(threads: usize, shuffle: ShuffleMode) -> (Vec<(String, u64)>, JobMetrics) {
         let docs =
             vec!["a b a".to_string(), "b c".to_string(), "a c c".to_string(), "d".to_string()];
-        let cfg = ClusterConfig { worker_threads: threads, ..Default::default() };
+        let cfg = ClusterConfig { worker_threads: threads, shuffle, ..Default::default() };
         run_map_reduce(
             &docs,
             2,
@@ -244,6 +320,56 @@ mod tests {
         let (seq, _) = word_count(0);
         let (par, _) = word_count(4);
         assert_eq!(seq, par, "parallel execution must not reorder output");
+    }
+
+    /// The serialized transport is a drop-in: same outputs, same
+    /// record/byte accounting as the in-memory default — at any spill
+    /// threshold, any thread count, and through the temp-dir store too.
+    #[test]
+    fn serialized_shuffle_matches_in_memory_word_count() {
+        let (reference, ref_metrics) = word_count(0);
+        for threshold in [0u64, 8, u64::MAX] {
+            for threads in [0usize, 4] {
+                let mode = ShuffleMode::Serialized {
+                    spill_threshold_bytes: threshold,
+                    sink: SpillSinkKind::Memory,
+                };
+                let (out, metrics) = word_count_mode(threads, mode);
+                assert_eq!(out, reference, "threshold {threshold}, threads {threads}");
+                assert_eq!(metrics.shuffle_records, ref_metrics.shuffle_records);
+                assert_eq!(metrics.shuffle_bytes, ref_metrics.shuffle_bytes);
+                assert_eq!(metrics.shuffle.records_spilled, 9, "every record spills");
+                assert!(metrics.shuffle.spill_segments > 0);
+                assert!(metrics.shuffle.spill_bytes > 0);
+            }
+        }
+        // The in-memory transport reports no spill activity at all.
+        assert_eq!(ref_metrics.shuffle, ShuffleStats::default());
+        // Threshold and thread count never move the record count or the
+        // checksum, only the segmentation.
+        let spill = |threshold, threads| {
+            word_count_mode(
+                threads,
+                ShuffleMode::Serialized {
+                    spill_threshold_bytes: threshold,
+                    sink: SpillSinkKind::Memory,
+                },
+            )
+            .1
+            .shuffle
+        };
+        let base = spill(0, 0);
+        for (threshold, threads) in [(0u64, 4usize), (8, 0), (8, 4), (u64::MAX, 4)] {
+            let s = spill(threshold, threads);
+            assert_eq!(s.checksum, base.checksum);
+            assert_eq!(s.records_spilled, base.records_spilled);
+        }
+        let (dir_out, dir_metrics) = word_count_mode(
+            2,
+            ShuffleMode::Serialized { spill_threshold_bytes: 8, sink: SpillSinkKind::TempDir },
+        );
+        assert_eq!(dir_out, reference);
+        assert_eq!(dir_metrics.shuffle, spill(8, 0), "temp-dir store spills identically");
     }
 
     #[test]
@@ -342,7 +468,7 @@ mod tests {
 
     /// Randomized end-to-end: grouped sums computed by the engine equal a
     /// direct hash-map aggregation, for arbitrary data, split counts,
-    /// partition counts and thread counts.
+    /// partition counts, thread counts and shuffle transports.
     #[test]
     fn randomized_aggregation_equivalence() {
         let mut state = 0x9E37_79B9u64;
@@ -350,13 +476,24 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             state >> 33
         };
-        for _ in 0..30 {
+        for round in 0..30 {
             let n = (next() % 200) as usize;
             let data: Vec<(u64, u64)> = (0..n).map(|_| (next() % 17, next() % 1000)).collect();
             let splits = (next() % 8 + 1) as usize;
             let parts = (next() % 5 + 1) as usize;
             let threads = (next() % 4) as usize;
-            let cfg = ClusterConfig { worker_threads: threads, ..Default::default() };
+            let shuffle = match round % 3 {
+                0 => ShuffleMode::InMemory,
+                1 => ShuffleMode::Serialized {
+                    spill_threshold_bytes: next() % 128,
+                    sink: SpillSinkKind::Memory,
+                },
+                _ => ShuffleMode::Serialized {
+                    spill_threshold_bytes: u64::MAX,
+                    sink: SpillSinkKind::Memory,
+                },
+            };
+            let cfg = ClusterConfig { worker_threads: threads, shuffle, ..Default::default() };
             let (mut got, metrics) = run_map_reduce(
                 &data,
                 splits,
@@ -391,7 +528,8 @@ mod tests {
     #[should_panic(expected = "partitioner returned partition 3 for a job with 2 partitions")]
     fn emitter_rejects_out_of_range_partitions() {
         let part = |k: &u64| *k as usize;
-        let mut em: Emitter<'_, u64, u64> = Emitter::new(2, &part);
+        let mut sink: MemorySink<u64, u64> = MemorySink::new(2);
+        let mut em = Emitter::new(2, &part, &mut sink);
         em.emit(1, 10); // in range
         em.emit(3, 30); // out of range: must panic with a useful message
     }
@@ -399,7 +537,8 @@ mod tests {
     #[test]
     fn emitter_counts_emissions() {
         let part = |_: &u64| 0usize;
-        let mut em: Emitter<'_, u64, u64> = Emitter::new(1, &part);
+        let mut sink: MemorySink<u64, u64> = MemorySink::new(1);
+        let mut em = Emitter::new(1, &part, &mut sink);
         em.emit(1, 1);
         em.emit(2, 2);
         assert_eq!(em.emitted(), 2);

@@ -29,12 +29,26 @@
 //! by list-scheduling the measured durations onto the configured slots —
 //! see [`JobMetrics`]. Neither knob can change outputs or work counters.
 
+//!
+//! Two **shuffle transports** sit behind [`ShuffleMode`]: the default
+//! in-memory `Vec` gather, and a serialized out-of-core path
+//! ([`shuffle::SerializedTransport`]) that frame-encodes records
+//! ([`Record`]), spills checksummed segments once a configurable byte
+//! threshold is exceeded, and merge-sorts them back on the reduce side —
+//! bit-identical grouped partitions either way, with spill work surfaced
+//! in [`ShuffleStats`].
+
 pub mod cluster;
 pub mod engine;
 pub mod metrics;
+pub mod shuffle;
 pub mod sizeof;
 
 pub use cluster::ClusterConfig;
-pub use engine::{run_map_reduce, Emitter};
+pub use engine::{run_map_reduce, run_map_reduce_with, try_run_map_reduce, Emitter};
 pub use metrics::{list_schedule_makespan, JobMetrics};
+pub use shuffle::{
+    CodecError, FrameReader, Record, ShuffleError, ShuffleMode, ShuffleStats, ShuffleTransport,
+    SpillSinkKind, TaskSink, SPILL_THRESHOLD_ENV,
+};
 pub use sizeof::SizeOf;

@@ -1,6 +1,7 @@
 //! Job cost accounting: the counters the paper's evaluation reads off
 //! Hadoop, measured here by the engine itself.
 
+use crate::shuffle::ShuffleStats;
 use std::time::Duration;
 
 /// Execution metrics of one Map-Reduce job.
@@ -13,8 +14,11 @@ pub struct JobMetrics {
     /// Records shuffled into each partition.
     pub shuffle_records: Vec<u64>,
     /// Approximate bytes shuffled into each partition (see
-    /// [`crate::SizeOf`]).
+    /// [`crate::SizeOf`]) — identical under either shuffle transport.
     pub shuffle_bytes: Vec<u64>,
+    /// Serialized-shuffle spill accounting; all-zero when the job ran
+    /// the in-memory transport.
+    pub shuffle: ShuffleStats,
     /// Wall-clock time of the whole job as executed locally.
     pub wall: Duration,
 }

@@ -105,6 +105,22 @@ impl BucketMatrix {
         self.total
     }
 
+    /// Row-major `g × g` counts — the raw lane a serialized-shuffle codec
+    /// reads to frame-encode the matrix.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Reconstructs a matrix from its row-major counts lane (the inverse
+    /// of [`Self::counts`]; the total is re-derived). Panics when the
+    /// lane's length is not `g × g`.
+    pub fn from_counts(partitioning: TimePartitioning, counts: Vec<u64>) -> Self {
+        let g = partitioning.g() as usize;
+        assert_eq!(counts.len(), g * g, "counts lane must hold g × g entries");
+        let total = counts.iter().sum();
+        BucketMatrix { partitioning, counts, total }
+    }
+
     /// Iterates the non-empty buckets with their cardinalities, in
     /// deterministic (row-major) order.
     pub fn nonempty(&self) -> impl Iterator<Item = (BucketId, u64)> + '_ {
@@ -155,6 +171,21 @@ mod tests {
 
     fn iv(id: u64, s: i64, e: i64) -> Interval {
         Interval::new(id, s, e).unwrap()
+    }
+
+    #[test]
+    fn counts_round_trip_through_from_counts() {
+        let m =
+            BucketMatrix::build(part(), &[iv(0, 5, 8), iv(1, 5, 15), iv(2, 7, 12), iv(3, 95, 99)]);
+        let rebuilt = BucketMatrix::from_counts(m.partitioning(), m.counts().to_vec());
+        assert_eq!(rebuilt, m);
+        assert_eq!(rebuilt.total(), 4, "total is re-derived from the lane");
+    }
+
+    #[test]
+    #[should_panic(expected = "counts lane must hold g × g entries")]
+    fn from_counts_rejects_misshapen_lanes() {
+        let _ = BucketMatrix::from_counts(part(), vec![0; 7]);
     }
 
     #[test]

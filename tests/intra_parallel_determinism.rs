@@ -18,6 +18,9 @@
 use tkij::core::Strategy;
 use tkij::prelude::*;
 
+/// One job's `ShuffleStats` fields, in registry order.
+type SpillFp = (u64, u64, u64, u64);
+
 /// Every deterministic (non-timing, non-shape) quantity of one
 /// execution, in a directly comparable form.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +34,14 @@ struct Fingerprint {
     merge_shuffle: u64,
     buckets: (u64, u64),
     probe_chunks: u64,
+    /// Serialized-shuffle spill accounting of (join, merge) — all-zero on
+    /// the in-memory transport, thread-invariant under forced spilling.
+    shuffle: (SpillFp, SpillFp),
+}
+
+/// The four `ShuffleStats` fields of one job, in registry order.
+fn shuffle_fp(m: &tkij::mapreduce::JobMetrics) -> SpillFp {
+    (m.shuffle.records_spilled, m.shuffle.spill_segments, m.shuffle.spill_bytes, m.shuffle.checksum)
 }
 
 fn fingerprint(report: &ExecutionReport) -> Fingerprint {
@@ -71,6 +82,7 @@ fn fingerprint(report: &ExecutionReport) -> Fingerprint {
         merge_shuffle: report.merge.total_shuffle_records(),
         buckets: (report.buckets_rtree(), report.buckets_sweep()),
         probe_chunks: report.probe_chunks(),
+        shuffle: (shuffle_fp(&report.join), shuffle_fp(&report.merge)),
     }
 }
 

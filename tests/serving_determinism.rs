@@ -12,6 +12,9 @@
 use std::sync::Arc;
 use tkij::prelude::*;
 
+/// One job's `ShuffleStats` fields, in registry order.
+type SpillFp = (u64, u64, u64, u64);
+
 /// Every deterministic (non-timing) quantity of one execution, in a
 /// directly comparable shape (the same capture as the thread battery).
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +27,15 @@ struct Fingerprint {
     join_shuffle: u64,
     merge_shuffle: u64,
     buckets: (u64, u64),
+    /// Serialized-shuffle spill accounting of (join, merge) — all-zero on
+    /// the in-memory transport; serving must reproduce the solo path's
+    /// spill counters exactly when spilling is forced.
+    shuffle: (SpillFp, SpillFp),
+}
+
+/// The four `ShuffleStats` fields of one job, in registry order.
+fn shuffle_fp(m: &tkij::mapreduce::JobMetrics) -> SpillFp {
+    (m.shuffle.records_spilled, m.shuffle.spill_segments, m.shuffle.spill_bytes, m.shuffle.checksum)
 }
 
 fn fingerprint(report: &ExecutionReport) -> Fingerprint {
@@ -51,6 +63,7 @@ fn fingerprint(report: &ExecutionReport) -> Fingerprint {
         join_shuffle: report.join.total_shuffle_records(),
         merge_shuffle: report.merge.total_shuffle_records(),
         buckets: (report.buckets_rtree(), report.buckets_sweep()),
+        shuffle: (shuffle_fp(&report.join), shuffle_fp(&report.merge)),
     }
 }
 

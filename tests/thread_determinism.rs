@@ -14,6 +14,9 @@
 
 use tkij::prelude::*;
 
+/// One job's `ShuffleStats` fields, in registry order.
+type SpillFp = (u64, u64, u64, u64);
+
 /// Every deterministic (non-timing) quantity of one execution, in a
 /// directly comparable shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +29,16 @@ struct Fingerprint {
     join_shuffle: u64,
     merge_shuffle: u64,
     buckets: (u64, u64),
+    /// Serialized-shuffle spill accounting of (join, merge). All-zero on
+    /// the in-memory transport; under `TKIJ_SPILL_THRESHOLD` every cell
+    /// of the grid runs the same threshold, so the full stats — segment
+    /// and byte counts included — must agree bit for bit.
+    shuffle: (SpillFp, SpillFp),
+}
+
+/// The four `ShuffleStats` fields of one job, in registry order.
+fn shuffle_fp(m: &tkij::mapreduce::JobMetrics) -> SpillFp {
+    (m.shuffle.records_spilled, m.shuffle.spill_segments, m.shuffle.spill_bytes, m.shuffle.checksum)
 }
 
 fn fingerprint(report: &ExecutionReport) -> Fingerprint {
@@ -53,6 +66,7 @@ fn fingerprint(report: &ExecutionReport) -> Fingerprint {
         join_shuffle: report.join.total_shuffle_records(),
         merge_shuffle: report.merge.total_shuffle_records(),
         buckets: (report.buckets_rtree(), report.buckets_sweep()),
+        shuffle: (shuffle_fp(&report.join), shuffle_fp(&report.merge)),
     }
 }
 
